@@ -1,0 +1,60 @@
+"""E7 — §3 Element Verification: loop decomposition into "mini-elements".
+
+Paper: symbexing the IP-options element naively would require "millions
+of segments ... months to complete"; instead each loop iteration is
+verified in isolation and the results composed, like pipeline elements.
+This bench compares the work of naive loop unrolling (segments of the
+whole element, growing multiplicatively with the iteration bound) against
+the decomposed mini-element analysis (segments of a single iteration,
+reused linearly).
+"""
+
+from repro.dataplane.elements import IPOptions
+from repro.symbex import SymbexOptions, SymbolicEngine, summarize_loop
+
+INPUT_LENGTH = 24
+OPTION_BOUNDS = (1, 2, 3, 4)
+
+
+def measure():
+    rows = []
+    for max_options in OPTION_BOUNDS:
+        element = IPOptions(name=f"opts{max_options}", max_options=max_options)
+
+        engine = SymbolicEngine(SymbexOptions(max_paths=100_000))
+        naive = engine.summarize_element(
+            element.program,
+            INPUT_LENGTH,
+            tables=element.state.tables(),
+            element_name=element.name,
+        )
+
+        loop = element.program.loops()[0]
+        decomposed = summarize_loop(element.program, loop, input_length=INPUT_LENGTH)
+
+        rows.append((max_options, naive, decomposed))
+    return rows
+
+
+def test_loop_decomposition(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print("\n--- E7: loop decomposition (naive unrolling vs per-iteration mini-element) ---")
+    print(f"{'loop bound':>10} | {'naive segments':>14} {'naive time (s)':>14} | "
+          f"{'mini-element segments':>21} {'work (segments*t)':>17}")
+    naive_counts = []
+    for max_options, naive, decomposed in rows:
+        naive_counts.append(len(naive.segments))
+        print(f"{max_options:>10} | {len(naive.segments):>14} {naive.elapsed_seconds:>14.2f} | "
+              f"{decomposed.segments_per_iteration:>21} "
+              f"{decomposed.decomposed_segment_count:>17}")
+
+    # Naive unrolling grows with the loop bound; the mini-element analysis is
+    # a constant per-iteration cost reused linearly.
+    assert naive_counts == sorted(naive_counts)
+    assert naive_counts[-1] > naive_counts[0]
+    last_decomposed = rows[-1][2]
+    assert last_decomposed.segments_per_iteration < naive_counts[-1]
+    # A single iteration of the option parser never crashes on its own
+    # (the crash suspects come from the header-length trust, checked per path).
+    assert last_decomposed.loop_instruction_bound >= last_decomposed.max_instructions_per_iteration

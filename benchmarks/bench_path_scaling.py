@@ -1,0 +1,48 @@
+"""E6 — §3 path-count argument: 2^(k*n) whole-pipeline paths vs k*2^n per-element segments.
+
+Paper: "If each element has n branches and roughly 2^n paths, a pipeline
+of k such elements has roughly 2^(k*n) paths.  Verifying each element in
+isolation ... cuts the number of paths that need to be explored roughly
+from 2^(k*n) to k*2^n."
+"""
+
+from repro.symbex import SymbexOptions
+from repro.verify import CrashFreedom, MonolithicVerifier, PipelineVerifier
+from repro.workloads import synthetic_pipeline
+
+INPUT_LENGTH = 10
+CONFIGURATIONS = [(1, 2), (2, 2), (3, 2), (1, 3), (2, 3), (3, 3)]  # (k elements, n branches)
+
+
+def measure_path_counts():
+    rows = []
+    for elements, branches in CONFIGURATIONS:
+        pipeline = synthetic_pipeline(elements=elements, branches_per_element=branches)
+
+        verifier = PipelineVerifier(pipeline, options=SymbexOptions(max_paths=100_000))
+        summaries = verifier.element_summaries(INPUT_LENGTH)
+        decomposed_segments = sum(len(summary.segments) for _e, summary in summaries.values())
+
+        baseline = MonolithicVerifier(
+            pipeline, options=SymbexOptions(max_paths=100_000, max_seconds=120)
+        )
+        result = baseline.verify(CrashFreedom(), input_length=INPUT_LENGTH)
+        monolithic_paths = getattr(result.statistics, "pipeline_paths_explored", 0)
+
+        rows.append((elements, branches, decomposed_segments, monolithic_paths))
+    return rows
+
+
+def test_path_scaling(benchmark):
+    rows = benchmark.pedantic(measure_path_counts, rounds=1, iterations=1)
+
+    print("\n--- E6: path-count scaling (paper: k*2^n vs 2^(k*n)) ---")
+    print(f"{'k':>2} {'n':>2} | {'k*2^n (predicted)':>18} {'decomposed (measured)':>22} | "
+          f"{'2^(k*n) (predicted)':>20} {'monolithic (measured)':>22}")
+    for elements, branches, decomposed, monolithic in rows:
+        predicted_decomposed = elements * 2**branches
+        predicted_monolithic = 2 ** (elements * branches)
+        print(f"{elements:>2} {branches:>2} | {predicted_decomposed:>18} {decomposed:>22} | "
+              f"{predicted_monolithic:>20} {monolithic:>22}")
+        assert decomposed == predicted_decomposed
+        assert monolithic == predicted_monolithic

@@ -1,0 +1,18 @@
+"""Benchmark configuration: src/ importability and shared fixtures/helpers."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"))
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a (potentially slow) verification exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

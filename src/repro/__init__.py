@@ -1,0 +1,18 @@
+"""repro — reproduction of "Toward a Verifiable Software Dataplane" (HotNets 2013).
+
+The package bundles four layers:
+
+* :mod:`repro.smt` — a from-scratch QF_BV constraint solver,
+* :mod:`repro.ir` / :mod:`repro.dataplane` — a Click-like software
+  dataplane whose elements are written in a small packet-processing IR,
+* :mod:`repro.symbex` — a symbolic execution engine over that IR,
+* :mod:`repro.verify` — the paper's contribution: decomposed, two-step
+  pipeline verification (plus the monolithic whole-pipeline baseline).
+
+See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the
+experiment-by-experiment reproduction notes.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,57 @@
+"""``repro.dataplane`` — the Click-like software dataplane framework.
+
+Pipelines are directed graphs of :class:`Element` objects; each element's
+per-packet behaviour is an IR program (see :mod:`repro.ir`) executed by
+the concrete interpreter at runtime and analysed symbolically by the
+verifier.  The framework enforces the paper's state model: packet state
+is owned by one element at a time, private state never changes ownership,
+and static state is read-only.
+"""
+
+from .config import ClickConfigParser, parse_click_config, split_config_args
+from .driver import DriverStatistics, HopRecord, PacketTrace, PipelineDriver
+from .element import ELEMENT_REGISTRY, Element, register_element
+from .errors import (
+    ConfigParseError,
+    DataplaneError,
+    PacketOwnershipError,
+    PipelineConfigurationError,
+    StateIsolationError,
+    UnknownElementError,
+)
+from .packet import Packet
+from .pipeline import Connection, Pipeline
+from .state import (
+    ElementState,
+    ExactMatchTable,
+    LpmTable,
+    StaticExactTable,
+    Table,
+)
+
+__all__ = [
+    "ClickConfigParser",
+    "Connection",
+    "ConfigParseError",
+    "DataplaneError",
+    "DriverStatistics",
+    "ELEMENT_REGISTRY",
+    "Element",
+    "ElementState",
+    "ExactMatchTable",
+    "HopRecord",
+    "LpmTable",
+    "Packet",
+    "PacketOwnershipError",
+    "PacketTrace",
+    "Pipeline",
+    "PipelineConfigurationError",
+    "PipelineDriver",
+    "StateIsolationError",
+    "StaticExactTable",
+    "Table",
+    "UnknownElementError",
+    "parse_click_config",
+    "register_element",
+    "split_config_args",
+]

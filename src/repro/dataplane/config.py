@@ -1,0 +1,174 @@
+"""Click-style configuration parser.
+
+Supports the subset of the Click language the paper's pipelines use::
+
+    // declarations
+    check :: CheckIPHeader();
+    rt    :: IPLookup(10.0.0.0/8 0, 192.168.1.0/24 1);
+
+    // connections (ports default to 0)
+    src -> check -> rt;
+    rt[1] -> [0]sink;
+
+Element classes are resolved against :data:`repro.dataplane.element.ELEMENT_REGISTRY`;
+anonymous elements may be declared inline in a connection chain
+(``... -> CheckIPHeader() -> ...``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .element import ELEMENT_REGISTRY, Element
+from .errors import ConfigParseError, UnknownElementError
+from .pipeline import Pipeline
+
+_DECLARATION_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][\w-]*)\s*::\s*(?P<cls>[A-Za-z_]\w*)\s*(?:\((?P<args>.*)\))?$",
+    re.DOTALL,
+)
+_INLINE_RE = re.compile(
+    r"^(?P<cls>[A-Za-z_]\w*)\s*\((?P<args>.*)\)$",
+    re.DOTALL,
+)
+_HOP_RE = re.compile(
+    r"^(?:\[(?P<inport>\d+)\]\s*)?(?P<body>.+?)(?:\s*\[(?P<outport>\d+)\])?$",
+    re.DOTALL,
+)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def _split_statements(text: str) -> List[str]:
+    statements = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if chunk:
+            statements.append(chunk)
+    return statements
+
+
+def split_config_args(args: Optional[str]) -> List[str]:
+    """Split a Click argument string on top-level commas."""
+    if not args or not args.strip():
+        return []
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in args:
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current).strip())
+    return [part for part in parts if part != ""] or []
+
+
+class ClickConfigParser:
+    """Parses a Click-style configuration string into a :class:`Pipeline`."""
+
+    def __init__(self, registry: Optional[Dict[str, type]] = None) -> None:
+        self._registry = registry if registry is not None else ELEMENT_REGISTRY
+
+    def parse(self, text: str, name: str = "pipeline") -> Pipeline:
+        pipeline = Pipeline(name=name)
+        elements: Dict[str, Element] = {}
+        statements = _split_statements(_strip_comments(text))
+        # First pass: declarations, so connections can reference them in any order.
+        connection_statements: List[str] = []
+        for statement in statements:
+            if "::" in statement and "->" not in statement:
+                self._parse_declaration(statement, elements, pipeline)
+            else:
+                connection_statements.append(statement)
+        for statement in connection_statements:
+            if "->" in statement:
+                self._parse_connection(statement, elements, pipeline)
+            elif "::" in statement:
+                self._parse_declaration(statement, elements, pipeline)
+            else:
+                raise ConfigParseError(f"cannot parse statement: {statement!r}")
+        return pipeline
+
+    # -- pieces -------------------------------------------------------------------------
+
+    def _resolve_class(self, class_name: str) -> type:
+        cls = self._registry.get(class_name)
+        if cls is None:
+            known = ", ".join(sorted(self._registry))
+            raise UnknownElementError(
+                f"unknown element class {class_name!r}; known classes: {known}"
+            )
+        return cls
+
+    def _parse_declaration(
+        self, statement: str, elements: Dict[str, Element], pipeline: Pipeline
+    ) -> Element:
+        match = _DECLARATION_RE.match(statement.strip())
+        if match is None:
+            raise ConfigParseError(f"cannot parse declaration: {statement!r}")
+        name = match.group("name")
+        if name in elements:
+            raise ConfigParseError(f"element {name!r} declared twice")
+        cls = self._resolve_class(match.group("cls"))
+        args = split_config_args(match.group("args"))
+        element = cls.from_click_args(args, name=name)  # type: ignore[attr-defined]
+        elements[name] = element
+        pipeline.add_element(element)
+        return element
+
+    def _parse_connection(
+        self, statement: str, elements: Dict[str, Element], pipeline: Pipeline
+    ) -> None:
+        hops = [hop.strip() for hop in statement.split("->")]
+        if len(hops) < 2:
+            raise ConfigParseError(f"connection needs at least two elements: {statement!r}")
+        resolved: List[Tuple[int, Element, int]] = []
+        for hop in hops:
+            resolved.append(self._parse_hop(hop, elements, pipeline))
+        for (_, source, out_port), (in_port, destination, _) in zip(resolved, resolved[1:]):
+            pipeline.connect(source, destination, source_port=out_port, destination_port=in_port)
+
+    def _parse_hop(
+        self, hop: str, elements: Dict[str, Element], pipeline: Pipeline
+    ) -> Tuple[int, Element, int]:
+        match = _HOP_RE.match(hop)
+        if match is None:
+            raise ConfigParseError(f"cannot parse connection endpoint: {hop!r}")
+        in_port = int(match.group("inport") or 0)
+        out_port = int(match.group("outport") or 0)
+        body = match.group("body").strip()
+
+        inline = _INLINE_RE.match(body)
+        if body in elements:
+            element = elements[body]
+        elif inline is not None and inline.group("cls") in self._registry:
+            cls = self._resolve_class(inline.group("cls"))
+            args = split_config_args(inline.group("args"))
+            element = cls.from_click_args(args)  # type: ignore[attr-defined]
+            pipeline.add_element(element)
+        elif body in self._registry:
+            element = self._resolve_class(body).from_click_args([])  # type: ignore[attr-defined]
+            pipeline.add_element(element)
+        else:
+            # Declaration inline in a connection: "name :: Class(args)".
+            if "::" in body:
+                element = self._parse_declaration(body, elements, pipeline)
+            else:
+                raise ConfigParseError(f"unknown element {body!r} in connection")
+        return in_port, element, out_port
+
+
+def parse_click_config(text: str, name: str = "pipeline") -> Pipeline:
+    """Parse a Click-style configuration string into a pipeline."""
+    return ClickConfigParser().parse(text, name=name)

@@ -1,0 +1,176 @@
+"""The pipeline driver: routes concrete packets through a pipeline.
+
+This is the dataplane's run-to-completion scheduler: a packet enters at an
+entry element and is pushed from element to element along the port its
+current element emitted it on, until it is dropped, crashes an element, or
+leaves through an unconnected output port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..ir.interpreter import Outcome
+from .element import Element
+from .errors import PipelineConfigurationError
+from .packet import Packet
+from .pipeline import Pipeline
+
+
+@dataclass
+class HopRecord:
+    """One element traversal in a packet's journey."""
+
+    element_name: str
+    outcome: str
+    port: Optional[int]
+    instructions: int
+    detail: str = ""
+
+
+@dataclass
+class PacketTrace:
+    """The full journey of one packet through the pipeline."""
+
+    packet_id: int
+    hops: List[HopRecord] = field(default_factory=list)
+    final_outcome: str = Outcome.DROP
+    egress_element: Optional[str] = None
+    egress_port: Optional[int] = None
+    output_data: Optional[bytes] = None
+    output_metadata: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(hop.instructions for hop in self.hops)
+
+    @property
+    def crashed(self) -> bool:
+        return self.final_outcome == Outcome.CRASH
+
+    @property
+    def delivered(self) -> bool:
+        return self.final_outcome == Outcome.EMIT
+
+    def __repr__(self) -> str:
+        path = " -> ".join(hop.element_name for hop in self.hops)
+        return (
+            f"PacketTrace(packet={self.packet_id}, {self.final_outcome}, "
+            f"path=[{path}], instructions={self.total_instructions})"
+        )
+
+
+@dataclass
+class DriverStatistics:
+    """Aggregate statistics over a driver run."""
+
+    packets_in: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    packets_crashed: int = 0
+    total_instructions: int = 0
+    max_instructions: int = 0
+    per_element_instructions: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_instructions(self) -> float:
+        return self.total_instructions / self.packets_in if self.packets_in else 0.0
+
+
+class PipelineDriver:
+    """Executes concrete packets against a pipeline."""
+
+    def __init__(self, pipeline: Pipeline, max_hops: int = 1_000) -> None:
+        pipeline.validate()
+        self.pipeline = pipeline
+        self.max_hops = max_hops
+        self.statistics = DriverStatistics()
+
+    def inject(
+        self,
+        data: bytes | bytearray,
+        metadata: Optional[Dict[str, int]] = None,
+        entry: Optional[Element] = None,
+    ) -> PacketTrace:
+        """Send one packet into the pipeline and return its trace."""
+        if entry is None:
+            entries = self.pipeline.entry_elements()
+            if len(entries) != 1:
+                raise PipelineConfigurationError(
+                    f"pipeline has {len(entries)} entry elements; specify one explicitly"
+                )
+            entry = entries[0]
+
+        packet = Packet(data, metadata)
+        packet.acquire(entry)
+        trace = PacketTrace(packet_id=packet.packet_id)
+        self.statistics.packets_in += 1
+
+        current: Optional[Tuple[Element, int]] = (entry, 0)
+        hops = 0
+        while current is not None:
+            element, _input_port = current
+            if hops >= self.max_hops:
+                raise PipelineConfigurationError(
+                    f"packet exceeded {self.max_hops} hops; is the pipeline malformed?"
+                )
+            hops += 1
+            result = element.process(packet)
+            self.statistics.per_element_instructions[element.name] = (
+                self.statistics.per_element_instructions.get(element.name, 0)
+                + result.instructions
+            )
+            if result.outcome == Outcome.EMIT:
+                hop = HopRecord(element.name, result.outcome, result.port, result.instructions)
+            elif result.outcome == Outcome.DROP:
+                hop = HopRecord(
+                    element.name, result.outcome, None, result.instructions, result.drop_reason
+                )
+            else:
+                hop = HopRecord(
+                    element.name, result.outcome, None, result.instructions, result.crash_message
+                )
+            trace.hops.append(hop)
+
+            if result.outcome != Outcome.EMIT:
+                trace.final_outcome = result.outcome
+                self._finish(trace)
+                return trace
+
+            assert result.port is not None
+            downstream = self.pipeline.downstream(element, result.port)
+            if downstream is None:
+                # Leaving through an unconnected port: the packet exits the pipeline.
+                trace.final_outcome = Outcome.EMIT
+                trace.egress_element = element.name
+                trace.egress_port = result.port
+                trace.output_data = bytes(packet.data(element))
+                trace.output_metadata = dict(packet.metadata(element))
+                packet.kill(element)
+                self._finish(trace)
+                return trace
+            next_element, next_port = downstream
+            packet.transfer(element, next_element)
+            current = (next_element, next_port)
+
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def run(
+        self,
+        packets: Iterable[bytes | bytearray],
+        entry: Optional[Element] = None,
+    ) -> List[PacketTrace]:
+        """Inject a sequence of packets and return their traces."""
+        return [self.inject(packet, entry=entry) for packet in packets]
+
+    def _finish(self, trace: PacketTrace) -> None:
+        stats = self.statistics
+        if trace.final_outcome == Outcome.EMIT:
+            stats.packets_delivered += 1
+        elif trace.final_outcome == Outcome.DROP:
+            stats.packets_dropped += 1
+        else:
+            stats.packets_crashed += 1
+        stats.total_instructions += trace.total_instructions
+        stats.max_instructions = max(stats.max_instructions, trace.total_instructions)

@@ -1,0 +1,38 @@
+"""Standard element library (the Click IP-router elements plus stateful extras)."""
+
+from .basic import (
+    CheckLength,
+    Counter,
+    Discard,
+    InfiniteSource,
+    Paint,
+    PassThrough,
+    Strip,
+    Unstrip,
+)
+from .ethernet import Classifier, EthDecap, EthEncap, EthMirror
+from .ip import CheckIPHeader, DecIPTTL, FilterRule, IPFilter, IPLookup, IPOptions
+from .stateful import NAT, NetFlow
+
+__all__ = [
+    "CheckIPHeader",
+    "CheckLength",
+    "Classifier",
+    "Counter",
+    "DecIPTTL",
+    "Discard",
+    "EthDecap",
+    "EthEncap",
+    "EthMirror",
+    "FilterRule",
+    "IPFilter",
+    "IPLookup",
+    "IPOptions",
+    "InfiniteSource",
+    "NAT",
+    "NetFlow",
+    "Paint",
+    "PassThrough",
+    "Strip",
+    "Unstrip",
+]

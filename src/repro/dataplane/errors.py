@@ -1,0 +1,32 @@
+"""Exception types for the dataplane framework."""
+
+from __future__ import annotations
+
+
+class DataplaneError(Exception):
+    """Base class for dataplane framework errors."""
+
+
+class PacketOwnershipError(DataplaneError):
+    """Raised when packet state is accessed by a non-owner.
+
+    The paper's pipeline structure (§3) requires that packet state is
+    owned by exactly one element at a time; this error is the executable
+    form of that rule.
+    """
+
+
+class StateIsolationError(DataplaneError):
+    """Raised when element state isolation is violated (e.g. writing static state)."""
+
+
+class PipelineConfigurationError(DataplaneError):
+    """Raised when a pipeline graph is malformed (dangling ports, cycles, duplicates)."""
+
+
+class ConfigParseError(DataplaneError):
+    """Raised when a Click-style configuration string cannot be parsed."""
+
+
+class UnknownElementError(ConfigParseError):
+    """Raised when a configuration references an element class that is not registered."""

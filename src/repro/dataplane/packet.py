@@ -1,0 +1,120 @@
+"""Packets and the ownership discipline of the paper's pipeline structure.
+
+A :class:`Packet` bundles the raw bytes and the metadata annotations
+(Click's packet annotations).  Ownership is explicit: exactly one owner at
+a time may read or write the packet; transferring ownership revokes the
+previous owner's access.  Violations raise :class:`PacketOwnershipError`
+rather than silently sharing state — the framework enforces the model the
+verification approach relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .errors import PacketOwnershipError
+
+
+class Packet:
+    """A packet with byte content, metadata annotations and an explicit owner."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        data: bytes | bytearray = b"",
+        metadata: Optional[Dict[str, int]] = None,
+        owner: Optional[object] = None,
+    ) -> None:
+        Packet._counter += 1
+        self.packet_id = Packet._counter
+        self._data = bytearray(data)
+        self._metadata: Dict[str, int] = dict(metadata or {})
+        self._owner: Optional[object] = owner
+        self._alive = True
+
+    # -- ownership ---------------------------------------------------------------------
+
+    @property
+    def owner(self) -> Optional[object]:
+        return self._owner
+
+    def transfer(self, from_owner: Optional[object], to_owner: Optional[object]) -> "Packet":
+        """Atomically transfer ownership; only the current owner may transfer."""
+        self._check_alive()
+        if self._owner is not None and self._owner is not from_owner:
+            raise PacketOwnershipError(
+                f"packet {self.packet_id} is owned by {self._owner!r}; "
+                f"{from_owner!r} cannot transfer it"
+            )
+        self._owner = to_owner
+        return self
+
+    def acquire(self, owner: object) -> "Packet":
+        """Claim an unowned packet (e.g. freshly created by a source element)."""
+        self._check_alive()
+        if self._owner is not None and self._owner is not owner:
+            raise PacketOwnershipError(
+                f"packet {self.packet_id} is already owned by {self._owner!r}"
+            )
+        self._owner = owner
+        return self
+
+    def release(self, owner: object) -> None:
+        """Give up ownership without handing the packet to anyone."""
+        self._check_access(owner)
+        self._owner = None
+
+    def kill(self, owner: Optional[object] = None) -> None:
+        """Destroy the packet (drop).  Further access raises."""
+        if owner is not None:
+            self._check_access(owner)
+        self._alive = False
+        self._owner = None
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise PacketOwnershipError(f"packet {self.packet_id} has been dropped")
+
+    def _check_access(self, accessor: Optional[object]) -> None:
+        self._check_alive()
+        if self._owner is not None and accessor is not self._owner:
+            raise PacketOwnershipError(
+                f"packet {self.packet_id} is owned by {self._owner!r}; "
+                f"{accessor!r} may not access it"
+            )
+
+    # -- data access (owner-checked) ----------------------------------------------------
+
+    def data(self, accessor: Optional[object] = None) -> bytearray:
+        """The raw packet bytes (mutable).  Only the owner may obtain them."""
+        self._check_access(accessor if accessor is not None else self._owner)
+        return self._data
+
+    def set_data(self, data: bytes | bytearray, accessor: Optional[object] = None) -> None:
+        self._check_access(accessor if accessor is not None else self._owner)
+        self._data = bytearray(data)
+
+    def metadata(self, accessor: Optional[object] = None) -> Dict[str, int]:
+        """The metadata annotation map (mutable).  Only the owner may obtain it."""
+        self._check_access(accessor if accessor is not None else self._owner)
+        return self._metadata
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clone(self) -> "Packet":
+        """An unowned deep copy (used by Tee-style elements and test harnesses)."""
+        self._check_alive()
+        return Packet(bytes(self._data), dict(self._metadata), owner=None)
+
+    def __repr__(self) -> str:
+        owner = getattr(self._owner, "name", self._owner)
+        return (
+            f"Packet(id={self.packet_id}, len={len(self._data)}, "
+            f"owner={owner!r}, alive={self._alive})"
+        )

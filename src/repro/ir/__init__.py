@@ -1,0 +1,95 @@
+"""``repro.ir`` — the packet-processing element IR.
+
+Elements express their per-packet behaviour as small structured programs
+in this IR.  The same program is executed concretely by
+:class:`Interpreter` inside the running dataplane and symbolically by
+:mod:`repro.symbex` inside the verifier, so there is no gap between the
+code that runs and the code that is proven about.
+"""
+
+from .builder import ProgramBuilder
+from .errors import BuilderError, InterpreterError, IRError, ProgramValidationError
+from .exprs import (
+    VALUE_MASK,
+    VALUE_WIDTH,
+    BinaryOperator,
+    BinOp,
+    Const,
+    Expr,
+    LoadField,
+    LoadMeta,
+    PacketLength,
+    Reg,
+    UnaryOperator,
+    UnOp,
+    as_expr,
+)
+from .interpreter import (
+    DictState,
+    ExecutionResult,
+    Interpreter,
+    Outcome,
+    StateAccess,
+)
+from .program import ElementProgram, TableDeclaration
+from .stmts import (
+    Assert,
+    Assign,
+    Drop,
+    Emit,
+    If,
+    Nop,
+    PullHead,
+    PushHead,
+    SetMeta,
+    Stmt,
+    StoreField,
+    TableRead,
+    TableWrite,
+    While,
+)
+from .validate import ValidationReport, validate_program
+
+__all__ = [
+    "Assert",
+    "Assign",
+    "BinOp",
+    "BinaryOperator",
+    "BuilderError",
+    "Const",
+    "DictState",
+    "Drop",
+    "ElementProgram",
+    "Emit",
+    "ExecutionResult",
+    "Expr",
+    "IRError",
+    "If",
+    "Interpreter",
+    "InterpreterError",
+    "LoadField",
+    "LoadMeta",
+    "Nop",
+    "Outcome",
+    "PacketLength",
+    "ProgramBuilder",
+    "ProgramValidationError",
+    "PullHead",
+    "PushHead",
+    "Reg",
+    "SetMeta",
+    "StateAccess",
+    "Stmt",
+    "StoreField",
+    "TableDeclaration",
+    "TableRead",
+    "TableWrite",
+    "UnOp",
+    "UnaryOperator",
+    "VALUE_MASK",
+    "VALUE_WIDTH",
+    "ValidationReport",
+    "While",
+    "as_expr",
+    "validate_program",
+]

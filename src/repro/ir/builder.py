@@ -1,0 +1,212 @@
+"""A fluent builder DSL for element programs.
+
+Element implementations use this to write their per-packet code in a
+readable, structured style::
+
+    p = ProgramBuilder("DecIPTTL")
+    ttl = p.let("ttl", p.load(8, 1))
+    with p.if_(ttl <= 1):
+        p.drop("ttl expired")
+    p.store(8, 1, ttl - 1)
+    p.emit(0)
+    program = p.build()
+
+Control-flow context managers (``if_``/``else_``/``while_``) push and pop
+statement sinks so nested blocks end up in the right place.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from .errors import BuilderError
+from .exprs import Const, Expr, ExprLike, LoadField, LoadMeta, PacketLength, Reg, as_expr
+from .program import ElementProgram, TableDeclaration
+from .stmts import (
+    Assert,
+    Assign,
+    Drop,
+    Emit,
+    If,
+    Nop,
+    PullHead,
+    PushHead,
+    SetMeta,
+    Stmt,
+    StoreField,
+    TableRead,
+    TableWrite,
+    While,
+)
+
+
+class ProgramBuilder:
+    """Accumulates statements for one element program."""
+
+    def __init__(self, name: str, num_output_ports: int = 1, description: str = "") -> None:
+        self.name = name
+        self.num_output_ports = num_output_ports
+        self.description = description
+        self._tables: Dict[str, TableDeclaration] = {}
+        self._blocks: List[List[Stmt]] = [[]]
+        self._register_counter = 0
+        self._loop_counter = 0
+        self._last_if: Optional[If] = None
+
+    # -- state declarations ---------------------------------------------------------
+
+    def declare_table(self, name: str, kind: str = "private", description: str = "") -> str:
+        """Declare a private or static table used by the program."""
+        if name in self._tables:
+            raise BuilderError(f"table {name!r} declared twice")
+        self._tables[name] = TableDeclaration(name=name, kind=kind, description=description)
+        return name
+
+    # -- expressions -----------------------------------------------------------------
+
+    def load(self, offset: ExprLike, nbytes: int) -> Expr:
+        """Big-endian packet-field read."""
+        return LoadField(offset, nbytes)
+
+    def packet_length(self) -> Expr:
+        return PacketLength()
+
+    def meta(self, key: str) -> Expr:
+        """Read a metadata annotation."""
+        return LoadMeta(key)
+
+    def const(self, value: int) -> Expr:
+        return Const(value)
+
+    def reg(self, name: str) -> Expr:
+        """Reference an already-assigned register."""
+        return Reg(name)
+
+    # -- simple statements ------------------------------------------------------------
+
+    def _emit_stmt(self, stmt: Stmt) -> Stmt:
+        self._blocks[-1].append(stmt)
+        return stmt
+
+    def let(self, name: str, expr: ExprLike) -> Expr:
+        """Assign a named register and return a reference to it."""
+        self._emit_stmt(Assign(name, expr))
+        return Reg(name)
+
+    def temp(self, expr: ExprLike, hint: str = "t") -> Expr:
+        """Assign a fresh temporary register and return a reference to it."""
+        self._register_counter += 1
+        name = f"_{hint}{self._register_counter}"
+        return self.let(name, expr)
+
+    def assign(self, name: str, expr: ExprLike) -> None:
+        """Re-assign an existing register (or create it) without returning a reference."""
+        self._emit_stmt(Assign(name, expr))
+
+    def store(self, offset: ExprLike, nbytes: int, value: ExprLike) -> None:
+        """Big-endian packet-field write."""
+        self._emit_stmt(StoreField(offset, nbytes, value))
+
+    def set_meta(self, key: str, value: ExprLike) -> None:
+        self._emit_stmt(SetMeta(key, value))
+
+    def assert_(self, cond: ExprLike, message: str = "assertion failed") -> None:
+        self._emit_stmt(Assert(cond, message))
+
+    def emit(self, port: int = 0) -> None:
+        if port >= self.num_output_ports:
+            raise BuilderError(
+                f"element {self.name!r} declares {self.num_output_ports} output ports; "
+                f"cannot emit on port {port}"
+            )
+        self._emit_stmt(Emit(port))
+
+    def drop(self, reason: str = "") -> None:
+        self._emit_stmt(Drop(reason))
+
+    def nop(self, comment: str = "") -> None:
+        self._emit_stmt(Nop(comment))
+
+    def push_head(self, nbytes: int) -> None:
+        self._emit_stmt(PushHead(nbytes))
+
+    def pull_head(self, nbytes: int) -> None:
+        self._emit_stmt(PullHead(nbytes))
+
+    def table_read(self, table: str, key: ExprLike, value_reg: str, found_reg: str) -> tuple[Expr, Expr]:
+        """Read a table; returns (value, found) register references."""
+        self._require_table(table)
+        self._emit_stmt(TableRead(table, key, value_reg, found_reg))
+        return Reg(value_reg), Reg(found_reg)
+
+    def table_write(self, table: str, key: ExprLike, value: ExprLike) -> None:
+        declaration = self._require_table(table)
+        if declaration.kind == "static":
+            raise BuilderError(f"table {table!r} is static (read-only); cannot write to it")
+        self._emit_stmt(TableWrite(table, key, value))
+
+    def _require_table(self, table: str) -> TableDeclaration:
+        declaration = self._tables.get(table)
+        if declaration is None:
+            raise BuilderError(f"table {table!r} was not declared (declare_table first)")
+        return declaration
+
+    # -- control flow -----------------------------------------------------------------
+
+    @contextmanager
+    def if_(self, cond: ExprLike) -> Iterator[None]:
+        """Open a conditional block; use ``with p.if_(cond): ...``."""
+        then_block: List[Stmt] = []
+        self._blocks.append(then_block)
+        try:
+            yield
+        finally:
+            self._blocks.pop()
+        statement = If(cond, then_block, ())
+        self._emit_stmt(statement)
+        self._last_if = statement
+
+    @contextmanager
+    def else_(self) -> Iterator[None]:
+        """Open the else-branch of the most recent ``if_`` block at this level."""
+        if self._last_if is None or not self._blocks[-1] or self._blocks[-1][-1] is not self._last_if:
+            raise BuilderError("else_() must immediately follow an if_() block")
+        previous = self._last_if
+        else_block: List[Stmt] = []
+        self._blocks.append(else_block)
+        try:
+            yield
+        finally:
+            self._blocks.pop()
+        replacement = If(previous.cond, previous.then, else_block)
+        self._blocks[-1][-1] = replacement
+        self._last_if = None
+
+    @contextmanager
+    def while_(self, cond: ExprLike, max_iterations: int, loop_id: Optional[str] = None) -> Iterator[None]:
+        """Open a bounded loop block."""
+        if loop_id is None:
+            self._loop_counter += 1
+            loop_id = f"{self.name}.loop{self._loop_counter}"
+        body: List[Stmt] = []
+        self._blocks.append(body)
+        try:
+            yield
+        finally:
+            self._blocks.pop()
+        self._emit_stmt(While(cond, body, max_iterations=max_iterations, loop_id=loop_id))
+
+    # -- finalisation ------------------------------------------------------------------
+
+    def build(self) -> ElementProgram:
+        """Produce the immutable :class:`ElementProgram`."""
+        if len(self._blocks) != 1:
+            raise BuilderError("unbalanced control-flow blocks: a with-block did not close")
+        return ElementProgram(
+            name=self.name,
+            body=tuple(self._blocks[0]),
+            tables=dict(self._tables),
+            num_output_ports=self.num_output_ports,
+            description=self.description,
+        )

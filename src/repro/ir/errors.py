@@ -1,0 +1,26 @@
+"""Exception types for the element IR and its interpreter."""
+
+from __future__ import annotations
+
+
+class IRError(Exception):
+    """Base class for IR-related errors."""
+
+
+class ProgramValidationError(IRError):
+    """Raised when a program fails structural validation (see :mod:`repro.ir.validate`)."""
+
+
+class InterpreterError(IRError):
+    """Raised when the concrete interpreter is used incorrectly.
+
+    Note: *packet-triggered* failures (failed assertions, out-of-bounds
+    accesses, division by zero) are not exceptions — they are reported as
+    ``CRASH`` outcomes, because they are exactly the behaviours the
+    verifier reasons about.  This exception is reserved for misuse of the
+    interpreter itself (unknown registers, missing tables, and so on).
+    """
+
+
+class BuilderError(IRError):
+    """Raised when the program builder DSL is used incorrectly."""

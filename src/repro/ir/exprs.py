@@ -1,0 +1,263 @@
+"""Expressions of the element IR.
+
+Every expression evaluates to a 64-bit unsigned value.  Packet-field loads
+are big-endian and zero-extended; comparison operators yield 0 or 1.
+Expressions support Python operator overloading so element programs read
+naturally (``ttl - 1``, ``ihl < 5``); the builder DSL in
+:mod:`repro.ir.builder` relies on this.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+VALUE_WIDTH = 64
+VALUE_MASK = (1 << VALUE_WIDTH) - 1
+
+ExprLike = Union["Expr", int]
+
+
+class BinaryOperator:
+    """Operator names for :class:`BinOp` (all operate on 64-bit unsigned values)."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    UDIV = "udiv"
+    UREM = "urem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    EQ = "eq"
+    NE = "ne"
+    ULT = "ult"
+    ULE = "ule"
+    UGT = "ugt"
+    UGE = "uge"
+
+    ALL = frozenset(
+        {ADD, SUB, MUL, UDIV, UREM, AND, OR, XOR, SHL, LSHR, EQ, NE, ULT, ULE, UGT, UGE}
+    )
+    COMPARISONS = frozenset({EQ, NE, ULT, ULE, UGT, UGE})
+    #: Operators whose symbolic execution may introduce a crash branch.
+    MAY_TRAP = frozenset({UDIV, UREM})
+
+
+class UnaryOperator:
+    """Operator names for :class:`UnOp`."""
+
+    NOT = "not"        # bitwise complement
+    NEG = "neg"        # two's complement negation
+    LOGNOT = "lognot"  # 1 if operand is zero else 0
+
+    ALL = frozenset({NOT, NEG, LOGNOT})
+
+
+def as_expr(value: ExprLike) -> "Expr":
+    """Coerce an int literal into a :class:`Const`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value)
+    raise TypeError(f"cannot use {value!r} as an IR expression")
+
+
+class Expr:
+    """Base class for IR expressions (immutable)."""
+
+    __slots__ = ()
+
+    # -- operator sugar ----------------------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.ADD, self, as_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.ADD, as_expr(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.SUB, self, as_expr(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.SUB, as_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.MUL, self, as_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.MUL, as_expr(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.UDIV, self, as_expr(other))
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.UREM, self, as_expr(other))
+
+    def __and__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.AND, self, as_expr(other))
+
+    def __rand__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.AND, as_expr(other), self)
+
+    def __or__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.OR, self, as_expr(other))
+
+    def __ror__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.OR, as_expr(other), self)
+
+    def __xor__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.XOR, self, as_expr(other))
+
+    def __rxor__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.XOR, as_expr(other), self)
+
+    def __lshift__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.SHL, self, as_expr(other))
+
+    def __rshift__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.LSHR, self, as_expr(other))
+
+    def __invert__(self) -> "Expr":
+        return UnOp(UnaryOperator.NOT, self)
+
+    def __neg__(self) -> "Expr":
+        return UnOp(UnaryOperator.NEG, self)
+
+    # Comparisons build comparison expressions (0/1-valued).
+    def __eq__(self, other: object) -> "Expr":  # type: ignore[override]
+        return BinOp(BinaryOperator.EQ, self, as_expr(other))  # type: ignore[arg-type]
+
+    def __ne__(self, other: object) -> "Expr":  # type: ignore[override]
+        return BinOp(BinaryOperator.NE, self, as_expr(other))  # type: ignore[arg-type]
+
+    def __lt__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.ULT, self, as_expr(other))
+
+    def __le__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.ULE, self, as_expr(other))
+
+    def __gt__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.UGT, self, as_expr(other))
+
+    def __ge__(self, other: ExprLike) -> "Expr":
+        return BinOp(BinaryOperator.UGE, self, as_expr(other))
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def logical_not(self) -> "Expr":
+        """1 if this expression is zero, else 0."""
+        return UnOp(UnaryOperator.LOGNOT, self)
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def node_count(self) -> int:
+        """Number of expression nodes (used for instruction accounting)."""
+        return 1 + sum(child.node_count() for child in self.children())
+
+
+class Const(Expr):
+    """A 64-bit unsigned constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value & VALUE_MASK
+
+    def __repr__(self) -> str:
+        return f"Const({self.value:#x})" if self.value > 9 else f"Const({self.value})"
+
+
+class Reg(Expr):
+    """A read of a named local register."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Reg({self.name!r})"
+
+
+class LoadField(Expr):
+    """Big-endian read of ``nbytes`` bytes from the packet at ``offset``.
+
+    Reading past the end of the packet is a crash (out-of-bounds access),
+    which is exactly what the crash-freedom property hunts for.
+    """
+
+    __slots__ = ("offset", "nbytes")
+
+    def __init__(self, offset: ExprLike, nbytes: int) -> None:
+        if not isinstance(nbytes, int) or not 1 <= nbytes <= 8:
+            raise ValueError(f"LoadField supports 1..8 bytes, got {nbytes}")
+        self.offset = as_expr(offset)
+        self.nbytes = nbytes
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.offset,)
+
+    def __repr__(self) -> str:
+        return f"LoadField({self.offset!r}, {self.nbytes})"
+
+
+class PacketLength(Expr):
+    """The current length of the packet in bytes."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "PacketLength()"
+
+
+class LoadMeta(Expr):
+    """Read a metadata annotation (64-bit; 0 when the key was never set)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+
+    def __repr__(self) -> str:
+        return f"LoadMeta({self.key!r})"
+
+
+class BinOp(Expr):
+    """A binary operation over two 64-bit values."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: ExprLike, right: ExprLike) -> None:
+        if op not in BinaryOperator.ALL:
+            raise ValueError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = as_expr(left)
+        self.right = as_expr(right)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class UnOp(Expr):
+    """A unary operation over a 64-bit value."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: ExprLike) -> None:
+        if op not in UnaryOperator.ALL:
+            raise ValueError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = as_expr(operand)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"UnOp({self.op!r}, {self.operand!r})"

@@ -1,0 +1,357 @@
+"""Concrete interpreter for element programs.
+
+This is the execution engine of the running dataplane: the dataplane's
+``Element.push`` hands the packet bytes, metadata and state handle to
+:class:`Interpreter.run`, which executes the element's IR program and
+reports the outcome (emit / drop / crash) together with the number of
+instructions executed — the latency proxy used by the bounded-latency
+property and the paper's "~3600 instructions per packet" result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol, Sequence, Tuple
+
+from .errors import InterpreterError
+from .exprs import (
+    VALUE_MASK,
+    BinOp,
+    BinaryOperator,
+    Const,
+    Expr,
+    LoadField,
+    LoadMeta,
+    PacketLength,
+    Reg,
+    UnOp,
+    UnaryOperator,
+)
+from .program import ElementProgram
+from .stmts import (
+    Assert,
+    Assign,
+    Drop,
+    Emit,
+    If,
+    Nop,
+    PullHead,
+    PushHead,
+    SetMeta,
+    Stmt,
+    StoreField,
+    TableRead,
+    TableWrite,
+    While,
+)
+
+
+class Outcome:
+    """Possible results of running an element program on a packet."""
+
+    EMIT = "emit"
+    DROP = "drop"
+    CRASH = "crash"
+
+
+class StateAccess(Protocol):
+    """Table access protocol the interpreter uses for private/static state."""
+
+    def table_read(self, table: str, key: int) -> Tuple[int, bool]:
+        """Return (value, found) for ``table[key]``."""
+        ...
+
+    def table_write(self, table: str, key: int, value: int) -> None:
+        """Store ``table[key] = value``."""
+        ...
+
+
+class DictState:
+    """Simple in-memory table store (the default private-state backend)."""
+
+    def __init__(self, tables: Optional[Dict[str, Dict[int, int]]] = None) -> None:
+        self.tables: Dict[str, Dict[int, int]] = tables if tables is not None else {}
+
+    def table_read(self, table: str, key: int) -> Tuple[int, bool]:
+        store = self.tables.get(table)
+        if store is None or key not in store:
+            return 0, False
+        return store[key] & VALUE_MASK, True
+
+    def table_write(self, table: str, key: int, value: int) -> None:
+        self.tables.setdefault(table, {})[key] = value & VALUE_MASK
+
+    def snapshot(self) -> Dict[str, Dict[int, int]]:
+        return {name: dict(entries) for name, entries in self.tables.items()}
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one element execution."""
+
+    outcome: str
+    port: Optional[int] = None
+    crash_message: str = ""
+    drop_reason: str = ""
+    instructions: int = 0
+    data: bytearray = field(default_factory=bytearray)
+    metadata: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def crashed(self) -> bool:
+        return self.outcome == Outcome.CRASH
+
+    @property
+    def emitted(self) -> bool:
+        return self.outcome == Outcome.EMIT
+
+    @property
+    def dropped(self) -> bool:
+        return self.outcome == Outcome.DROP
+
+    def __repr__(self) -> str:
+        if self.outcome == Outcome.EMIT:
+            detail = f"port={self.port}"
+        elif self.outcome == Outcome.DROP:
+            detail = f"reason={self.drop_reason!r}"
+        else:
+            detail = f"message={self.crash_message!r}"
+        return f"ExecutionResult({self.outcome}, {detail}, instructions={self.instructions})"
+
+
+class _Signal(Exception):
+    """Internal control-flow signal (never escapes :meth:`Interpreter.run`)."""
+
+
+class _EmitSignal(_Signal):
+    def __init__(self, port: int) -> None:
+        self.port = port
+
+
+class _DropSignal(_Signal):
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+
+class _CrashSignal(_Signal):
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+
+class Interpreter:
+    """Executes element programs over concrete packets."""
+
+    def __init__(self, max_instructions: int = 1_000_000) -> None:
+        self.max_instructions = max_instructions
+
+    def run(
+        self,
+        program: ElementProgram,
+        data: bytes | bytearray,
+        metadata: Optional[Dict[str, int]] = None,
+        state: Optional[StateAccess] = None,
+    ) -> ExecutionResult:
+        """Run ``program`` on a packet and return the outcome.
+
+        ``data`` is copied; the (possibly modified) packet bytes are
+        returned in the result.  ``metadata`` is the packet's annotation
+        map, also copied.  ``state`` provides table access (defaults to an
+        empty in-memory store).
+        """
+        context = _RunContext(
+            data=bytearray(data),
+            metadata=dict(metadata or {}),
+            state=state if state is not None else DictState(),
+            max_instructions=self.max_instructions,
+        )
+        try:
+            self._run_block(program.body, context)
+        except _EmitSignal as signal:
+            return self._result(Outcome.EMIT, context, port=signal.port)
+        except _DropSignal as signal:
+            return self._result(Outcome.DROP, context, drop_reason=signal.reason)
+        except _CrashSignal as signal:
+            return self._result(Outcome.CRASH, context, crash_message=signal.message)
+        # Falling off the end of the program emits on port 0 by convention.
+        return self._result(Outcome.EMIT, context, port=0)
+
+    @staticmethod
+    def _result(outcome: str, context: "_RunContext", **kwargs) -> ExecutionResult:
+        return ExecutionResult(
+            outcome=outcome,
+            instructions=context.instructions,
+            data=context.data,
+            metadata=context.metadata,
+            **kwargs,
+        )
+
+    # -- statement execution --------------------------------------------------------
+
+    def _run_block(self, block: Sequence[Stmt], context: "_RunContext") -> None:
+        for stmt in block:
+            self._run_stmt(stmt, context)
+
+    def _run_stmt(self, stmt: Stmt, context: "_RunContext") -> None:
+        context.count(1)
+
+        if isinstance(stmt, Assign):
+            context.registers[stmt.dst] = self._eval(stmt.expr, context)
+        elif isinstance(stmt, StoreField):
+            offset = self._eval(stmt.offset, context)
+            value = self._eval(stmt.value, context)
+            self._store_field(context, offset, stmt.nbytes, value)
+        elif isinstance(stmt, SetMeta):
+            context.metadata[stmt.key] = self._eval(stmt.value, context)
+        elif isinstance(stmt, If):
+            condition = self._eval(stmt.cond, context)
+            self._run_block(stmt.then if condition else stmt.orelse, context)
+        elif isinstance(stmt, While):
+            iterations = 0
+            while self._eval(stmt.cond, context):
+                if iterations >= stmt.max_iterations:
+                    raise _CrashSignal(
+                        f"loop {stmt.loop_id} exceeded its bound of {stmt.max_iterations} iterations"
+                    )
+                iterations += 1
+                self._run_block(stmt.body, context)
+        elif isinstance(stmt, Assert):
+            if not self._eval(stmt.cond, context):
+                raise _CrashSignal(stmt.message)
+        elif isinstance(stmt, Emit):
+            raise _EmitSignal(stmt.port)
+        elif isinstance(stmt, Drop):
+            raise _DropSignal(stmt.reason)
+        elif isinstance(stmt, PushHead):
+            context.data[:0] = bytes(stmt.nbytes)
+        elif isinstance(stmt, PullHead):
+            if stmt.nbytes > len(context.data):
+                raise _CrashSignal(
+                    f"pull of {stmt.nbytes} bytes from a {len(context.data)}-byte packet"
+                )
+            del context.data[: stmt.nbytes]
+        elif isinstance(stmt, TableRead):
+            key = self._eval(stmt.key, context)
+            value, found = context.state.table_read(stmt.table, key)
+            context.registers[stmt.dst_value] = value & VALUE_MASK
+            context.registers[stmt.dst_found] = 1 if found else 0
+        elif isinstance(stmt, TableWrite):
+            key = self._eval(stmt.key, context)
+            value = self._eval(stmt.value, context)
+            context.state.table_write(stmt.table, key, value)
+        elif isinstance(stmt, Nop):
+            pass
+        else:
+            raise InterpreterError(f"unknown statement type {type(stmt).__name__}")
+
+    # -- expression evaluation --------------------------------------------------------
+
+    def _eval(self, expr: Expr, context: "_RunContext") -> int:
+        context.count(1)
+
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Reg):
+            if expr.name not in context.registers:
+                raise InterpreterError(f"read of unassigned register {expr.name!r}")
+            return context.registers[expr.name]
+        if isinstance(expr, LoadField):
+            offset = self._eval(expr.offset, context)
+            return self._load_field(context, offset, expr.nbytes)
+        if isinstance(expr, PacketLength):
+            return len(context.data)
+        if isinstance(expr, LoadMeta):
+            return context.metadata.get(expr.key, 0) & VALUE_MASK
+        if isinstance(expr, BinOp):
+            left = self._eval(expr.left, context)
+            right = self._eval(expr.right, context)
+            return self._binop(expr.op, left, right)
+        if isinstance(expr, UnOp):
+            operand = self._eval(expr.operand, context)
+            if expr.op == UnaryOperator.NOT:
+                return (~operand) & VALUE_MASK
+            if expr.op == UnaryOperator.NEG:
+                return (-operand) & VALUE_MASK
+            if expr.op == UnaryOperator.LOGNOT:
+                return 0 if operand else 1
+        raise InterpreterError(f"unknown expression type {type(expr).__name__}")
+
+    @staticmethod
+    def _binop(op: str, left: int, right: int) -> int:
+        if op == BinaryOperator.ADD:
+            return (left + right) & VALUE_MASK
+        if op == BinaryOperator.SUB:
+            return (left - right) & VALUE_MASK
+        if op == BinaryOperator.MUL:
+            return (left * right) & VALUE_MASK
+        if op == BinaryOperator.UDIV:
+            if right == 0:
+                raise _CrashSignal("division by zero")
+            return (left // right) & VALUE_MASK
+        if op == BinaryOperator.UREM:
+            if right == 0:
+                raise _CrashSignal("remainder by zero")
+            return (left % right) & VALUE_MASK
+        if op == BinaryOperator.AND:
+            return left & right
+        if op == BinaryOperator.OR:
+            return left | right
+        if op == BinaryOperator.XOR:
+            return left ^ right
+        if op == BinaryOperator.SHL:
+            return 0 if right >= 64 else (left << right) & VALUE_MASK
+        if op == BinaryOperator.LSHR:
+            return 0 if right >= 64 else left >> right
+        if op == BinaryOperator.EQ:
+            return 1 if left == right else 0
+        if op == BinaryOperator.NE:
+            return 1 if left != right else 0
+        if op == BinaryOperator.ULT:
+            return 1 if left < right else 0
+        if op == BinaryOperator.ULE:
+            return 1 if left <= right else 0
+        if op == BinaryOperator.UGT:
+            return 1 if left > right else 0
+        if op == BinaryOperator.UGE:
+            return 1 if left >= right else 0
+        raise InterpreterError(f"unknown binary operator {op!r}")
+
+    # -- packet access -----------------------------------------------------------------
+
+    @staticmethod
+    def _load_field(context: "_RunContext", offset: int, nbytes: int) -> int:
+        end = offset + nbytes
+        if end > len(context.data):
+            raise _CrashSignal(
+                f"out-of-bounds read of {nbytes} bytes at offset {offset} "
+                f"(packet length {len(context.data)})"
+            )
+        return int.from_bytes(context.data[offset:end], "big")
+
+    @staticmethod
+    def _store_field(context: "_RunContext", offset: int, nbytes: int, value: int) -> None:
+        end = offset + nbytes
+        if end > len(context.data):
+            raise _CrashSignal(
+                f"out-of-bounds write of {nbytes} bytes at offset {offset} "
+                f"(packet length {len(context.data)})"
+            )
+        context.data[offset:end] = (value & ((1 << (8 * nbytes)) - 1)).to_bytes(nbytes, "big")
+
+
+@dataclass
+class _RunContext:
+    """Mutable state of one program execution."""
+
+    data: bytearray
+    metadata: Dict[str, int]
+    state: StateAccess
+    max_instructions: int
+    registers: Dict[str, int] = field(default_factory=dict)
+    instructions: int = 0
+
+    def count(self, amount: int) -> None:
+        self.instructions += amount
+        if self.instructions > self.max_instructions:
+            raise _CrashSignal(
+                f"instruction budget of {self.max_instructions} exceeded"
+            )

@@ -1,0 +1,255 @@
+"""Statements of the element IR.
+
+A statement list is the body of an element program.  Control flow is
+structured (``If`` / bounded ``While``), which keeps both the concrete
+interpreter and the symbolic executor simple: there are no joins to
+reason about, and loop bodies are directly available to the loop
+decomposer (§3 "Element Verification" of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .exprs import Expr, ExprLike, as_expr
+
+
+class Stmt:
+    """Base class for IR statements (immutable after construction)."""
+
+    __slots__ = ()
+
+    def children_blocks(self) -> Tuple[Sequence["Stmt"], ...]:
+        """Nested statement blocks (for If / While)."""
+        return ()
+
+    def statement_count(self) -> int:
+        """Total number of statements including nested blocks (static size metric)."""
+        total = 1
+        for block in self.children_blocks():
+            total += sum(stmt.statement_count() for stmt in block)
+        return total
+
+
+class Assign(Stmt):
+    """``dst := expr`` — write a local register."""
+
+    __slots__ = ("dst", "expr")
+
+    def __init__(self, dst: str, expr: ExprLike) -> None:
+        self.dst = dst
+        self.expr = as_expr(expr)
+
+    def __repr__(self) -> str:
+        return f"Assign({self.dst!r}, {self.expr!r})"
+
+
+class StoreField(Stmt):
+    """Big-endian write of the low ``nbytes`` bytes of ``value`` into the packet."""
+
+    __slots__ = ("offset", "nbytes", "value")
+
+    def __init__(self, offset: ExprLike, nbytes: int, value: ExprLike) -> None:
+        if not isinstance(nbytes, int) or not 1 <= nbytes <= 8:
+            raise ValueError(f"StoreField supports 1..8 bytes, got {nbytes}")
+        self.offset = as_expr(offset)
+        self.nbytes = nbytes
+        self.value = as_expr(value)
+
+    def __repr__(self) -> str:
+        return f"StoreField({self.offset!r}, {self.nbytes}, {self.value!r})"
+
+
+class SetMeta(Stmt):
+    """Write a metadata annotation on the packet."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str, value: ExprLike) -> None:
+        self.key = key
+        self.value = as_expr(value)
+
+    def __repr__(self) -> str:
+        return f"SetMeta({self.key!r}, {self.value!r})"
+
+
+class If(Stmt):
+    """Structured conditional: executes ``then`` when cond is non-zero, else ``orelse``."""
+
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(
+        self, cond: ExprLike, then: Sequence[Stmt], orelse: Sequence[Stmt] = ()
+    ) -> None:
+        self.cond = as_expr(cond)
+        self.then: Tuple[Stmt, ...] = tuple(then)
+        self.orelse: Tuple[Stmt, ...] = tuple(orelse)
+
+    def children_blocks(self) -> Tuple[Sequence[Stmt], ...]:
+        return (self.then, self.orelse)
+
+    def __repr__(self) -> str:
+        return f"If({self.cond!r}, then={len(self.then)} stmts, else={len(self.orelse)} stmts)"
+
+
+class While(Stmt):
+    """Bounded loop: executes ``body`` while cond is non-zero, at most ``max_iterations`` times.
+
+    Exceeding ``max_iterations`` is reported as a crash ("runaway loop") —
+    the bounded-latency property the paper targets cannot hold for a loop
+    without a static bound, so the bound is part of the program.
+    """
+
+    __slots__ = ("cond", "body", "max_iterations", "loop_id")
+
+    def __init__(
+        self,
+        cond: ExprLike,
+        body: Sequence[Stmt],
+        max_iterations: int,
+        loop_id: Optional[str] = None,
+    ) -> None:
+        if max_iterations <= 0:
+            raise ValueError("While.max_iterations must be positive")
+        self.cond = as_expr(cond)
+        self.body: Tuple[Stmt, ...] = tuple(body)
+        self.max_iterations = max_iterations
+        self.loop_id = loop_id or f"loop@{id(self):x}"
+
+    def children_blocks(self) -> Tuple[Sequence[Stmt], ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return (
+            f"While({self.cond!r}, body={len(self.body)} stmts, "
+            f"max_iterations={self.max_iterations})"
+        )
+
+
+class Assert(Stmt):
+    """Crash with ``message`` when the condition evaluates to zero."""
+
+    __slots__ = ("cond", "message")
+
+    def __init__(self, cond: ExprLike, message: str = "assertion failed") -> None:
+        self.cond = as_expr(cond)
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"Assert({self.cond!r}, {self.message!r})"
+
+
+class Emit(Stmt):
+    """Terminate processing and hand the packet to output port ``port``."""
+
+    __slots__ = ("port",)
+
+    def __init__(self, port: int = 0) -> None:
+        if port < 0:
+            raise ValueError("output port must be non-negative")
+        self.port = port
+
+    def __repr__(self) -> str:
+        return f"Emit({self.port})"
+
+
+class Drop(Stmt):
+    """Terminate processing and discard the packet."""
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str = "") -> None:
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"Drop({self.reason!r})"
+
+
+class PushHead(Stmt):
+    """Prepend ``nbytes`` zero bytes to the packet (e.g. encapsulation)."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError("PushHead needs a positive byte count")
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:
+        return f"PushHead({self.nbytes})"
+
+
+class PullHead(Stmt):
+    """Remove the first ``nbytes`` bytes of the packet (e.g. decapsulation).
+
+    Pulling more bytes than the packet holds is a crash.
+    """
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError("PullHead needs a positive byte count")
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:
+        return f"PullHead({self.nbytes})"
+
+
+class TableRead(Stmt):
+    """Read ``table[key]`` into registers ``dst_value`` and ``dst_found`` (0/1)."""
+
+    __slots__ = ("table", "key", "dst_value", "dst_found")
+
+    def __init__(self, table: str, key: ExprLike, dst_value: str, dst_found: str) -> None:
+        self.table = table
+        self.key = as_expr(key)
+        self.dst_value = dst_value
+        self.dst_found = dst_found
+
+    def __repr__(self) -> str:
+        return (
+            f"TableRead({self.table!r}, {self.key!r}, value->{self.dst_value!r}, "
+            f"found->{self.dst_found!r})"
+        )
+
+
+class TableWrite(Stmt):
+    """Write ``table[key] := value`` in the element's private state."""
+
+    __slots__ = ("table", "key", "value")
+
+    def __init__(self, table: str, key: ExprLike, value: ExprLike) -> None:
+        self.table = table
+        self.key = as_expr(key)
+        self.value = as_expr(value)
+
+    def __repr__(self) -> str:
+        return f"TableWrite({self.table!r}, {self.key!r}, {self.value!r})"
+
+
+class Nop(Stmt):
+    """Does nothing (placeholder produced by some rewrites; still counted as executed)."""
+
+    __slots__ = ("comment",)
+
+    def __init__(self, comment: str = "") -> None:
+        self.comment = comment
+
+    def __repr__(self) -> str:
+        return f"Nop({self.comment!r})"
+
+
+def block_statement_count(block: Sequence[Stmt]) -> int:
+    """Static statement count of a block, including nested blocks."""
+    return sum(stmt.statement_count() for stmt in block)
+
+
+def collect_statements(block: Sequence[Stmt]) -> List[Stmt]:
+    """Flatten a block into a list of all statements (pre-order, including nested)."""
+    result: List[Stmt] = []
+    for stmt in block:
+        result.append(stmt)
+        for child in stmt.children_blocks():
+            result.extend(collect_statements(child))
+    return result

@@ -1,0 +1,184 @@
+"""Structural validation of element programs.
+
+Run before a program is admitted into a pipeline (and before
+verification), this pass rejects programs that violate the dataplane
+programming model of §3 of the paper: undeclared or read-only table
+writes, reads of never-assigned registers, unreachable statements after a
+terminator, and out-of-range output ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set
+
+from .errors import ProgramValidationError
+from .exprs import BinOp, Const, Expr, LoadField, LoadMeta, PacketLength, Reg, UnOp
+from .program import ElementProgram
+from .stmts import (
+    Assert,
+    Assign,
+    Drop,
+    Emit,
+    If,
+    Nop,
+    PullHead,
+    PushHead,
+    SetMeta,
+    Stmt,
+    StoreField,
+    TableRead,
+    TableWrite,
+    While,
+)
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a program."""
+
+    program_name: str
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        if self.errors:
+            summary = "; ".join(self.errors)
+            raise ProgramValidationError(f"program {self.program_name!r} is invalid: {summary}")
+
+
+def validate_program(program: ElementProgram) -> ValidationReport:
+    """Validate a program and return a report (does not raise)."""
+    report = ValidationReport(program_name=program.name)
+    _check_tables(program, report)
+    _check_block(program.body, program, report, assigned=set(), top_level=True)
+    return report
+
+
+def _check_tables(program: ElementProgram, report: ValidationReport) -> None:
+    declared = set(program.tables)
+    referenced = program.referenced_tables()
+    for name in sorted(referenced - declared):
+        report.errors.append(f"table {name!r} is used but not declared")
+    for name in sorted(declared - referenced):
+        report.warnings.append(f"table {name!r} is declared but never used")
+    for name in sorted(program.written_tables()):
+        declaration = program.tables.get(name)
+        if declaration is not None and declaration.kind == "static":
+            report.errors.append(f"static table {name!r} is written (static state is read-only)")
+
+
+def _check_block(
+    block: Sequence[Stmt],
+    program: ElementProgram,
+    report: ValidationReport,
+    assigned: Set[str],
+    top_level: bool,
+) -> Set[str]:
+    """Walk a block, tracking assigned registers.  Returns registers assigned on all paths."""
+    terminated = False
+    for stmt in block:
+        if terminated:
+            report.warnings.append(
+                f"unreachable statement after a terminator: {stmt!r}"
+            )
+            break
+        terminated = _check_stmt(stmt, program, report, assigned)
+    return assigned
+
+
+def _check_stmt(
+    stmt: Stmt, program: ElementProgram, report: ValidationReport, assigned: Set[str]
+) -> bool:
+    """Check one statement.  Returns True if the statement always terminates the program."""
+    if isinstance(stmt, Assign):
+        _check_expr(stmt.expr, report, assigned)
+        assigned.add(stmt.dst)
+        return False
+    if isinstance(stmt, StoreField):
+        _check_expr(stmt.offset, report, assigned)
+        _check_expr(stmt.value, report, assigned)
+        return False
+    if isinstance(stmt, SetMeta):
+        _check_expr(stmt.value, report, assigned)
+        return False
+    if isinstance(stmt, Assert):
+        _check_expr(stmt.cond, report, assigned)
+        return False
+    if isinstance(stmt, (PushHead, PullHead, Nop)):
+        return False
+    if isinstance(stmt, Emit):
+        if stmt.port >= program.num_output_ports:
+            report.errors.append(
+                f"emit on port {stmt.port} but the element declares "
+                f"{program.num_output_ports} output ports"
+            )
+        return True
+    if isinstance(stmt, Drop):
+        return True
+    if isinstance(stmt, TableRead):
+        _check_expr(stmt.key, report, assigned)
+        assigned.add(stmt.dst_value)
+        assigned.add(stmt.dst_found)
+        return False
+    if isinstance(stmt, TableWrite):
+        _check_expr(stmt.key, report, assigned)
+        _check_expr(stmt.value, report, assigned)
+        return False
+    if isinstance(stmt, If):
+        _check_expr(stmt.cond, report, assigned)
+        then_assigned = set(assigned)
+        else_assigned = set(assigned)
+        _check_block(stmt.then, program, report, then_assigned, top_level=False)
+        _check_block(stmt.orelse, program, report, else_assigned, top_level=False)
+        # Only registers assigned on both branches are definitely assigned afterwards.
+        assigned |= then_assigned & else_assigned
+        then_terminates = _block_terminates(stmt.then)
+        else_terminates = _block_terminates(stmt.orelse)
+        if then_terminates and not else_terminates:
+            assigned |= else_assigned
+        if else_terminates and not then_terminates:
+            assigned |= then_assigned
+        return then_terminates and else_terminates
+    if isinstance(stmt, While):
+        _check_expr(stmt.cond, report, assigned)
+        loop_assigned = set(assigned)
+        _check_block(stmt.body, program, report, loop_assigned, top_level=False)
+        # The loop body may not execute, so its assignments are not guaranteed.
+        return False
+    report.errors.append(f"unknown statement type {type(stmt).__name__}")
+    return False
+
+
+def _block_terminates(block: Sequence[Stmt]) -> bool:
+    """True if every path through the block ends in Emit/Drop."""
+    for stmt in block:
+        if isinstance(stmt, (Emit, Drop)):
+            return True
+        if isinstance(stmt, If) and _block_terminates(stmt.then) and _block_terminates(stmt.orelse):
+            return True
+    return False
+
+
+def _check_expr(expr: Expr, report: ValidationReport, assigned: Set[str]) -> None:
+    if isinstance(expr, Reg):
+        if expr.name not in assigned:
+            report.errors.append(f"register {expr.name!r} may be read before assignment")
+        return
+    if isinstance(expr, (Const, PacketLength, LoadMeta)):
+        return
+    if isinstance(expr, LoadField):
+        _check_expr(expr.offset, report, assigned)
+        return
+    if isinstance(expr, BinOp):
+        _check_expr(expr.left, report, assigned)
+        _check_expr(expr.right, report, assigned)
+        return
+    if isinstance(expr, UnOp):
+        _check_expr(expr.operand, report, assigned)
+        return
+    report.errors.append(f"unknown expression type {type(expr).__name__}")

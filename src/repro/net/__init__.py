@@ -1,0 +1,55 @@
+"""``repro.net`` — protocol substrate: addresses, headers, checksums, lookup tables.
+
+This package provides the concrete networking building blocks the
+dataplane elements and workload generators rely on: Ethernet/IPv4/TCP/UDP
+header encoding and parsing, the Internet checksum, address and prefix
+types, longest-prefix-match forwarding tables, and the classifier rule
+language.
+"""
+
+from .addresses import EthernetAddress, IPv4Address, IPv4Prefix
+from .checksum import internet_checksum, verify_checksum
+from .headers import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    EthernetHeader,
+    IPv4Header,
+    TCPHeader,
+    UDPHeader,
+    build_ethernet_frame,
+    build_ipv4_packet,
+    build_tcp_segment,
+    build_udp_datagram,
+)
+from .lpm import DirectIndexLPM, RouteEntry, TrieLPM
+from .rules import ClassifierPattern, ClassifierRule, parse_classifier_pattern
+
+__all__ = [
+    "ClassifierPattern",
+    "ClassifierRule",
+    "DirectIndexLPM",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "EthernetAddress",
+    "EthernetHeader",
+    "IPPROTO_ICMP",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "IPv4Address",
+    "IPv4Header",
+    "IPv4Prefix",
+    "RouteEntry",
+    "TCPHeader",
+    "TrieLPM",
+    "UDPHeader",
+    "build_ethernet_frame",
+    "build_ipv4_packet",
+    "build_tcp_segment",
+    "build_udp_datagram",
+    "internet_checksum",
+    "parse_classifier_pattern",
+    "verify_checksum",
+]

@@ -1,0 +1,214 @@
+"""Address types: IPv4 addresses, IPv4 prefixes, Ethernet (MAC) addresses.
+
+All types are immutable value objects with integer views, which is what
+the dataplane elements (operating on packed fields) consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+
+class AddressError(ValueError):
+    """Raised when an address or prefix cannot be parsed or is out of range."""
+
+
+class IPv4Address:
+    """An IPv4 address, convertible between dotted-quad, int and bytes forms."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, address: Union[str, int, bytes, "IPv4Address"]) -> None:
+        if isinstance(address, IPv4Address):
+            self._value = address._value
+        elif isinstance(address, int):
+            if not 0 <= address <= 0xFFFFFFFF:
+                raise AddressError(f"IPv4 address out of range: {address}")
+            self._value = address
+        elif isinstance(address, bytes):
+            if len(address) != 4:
+                raise AddressError(f"IPv4 address needs 4 bytes, got {len(address)}")
+            self._value = int.from_bytes(address, "big")
+        elif isinstance(address, str):
+            self._value = self._parse(address)
+        else:
+            raise AddressError(f"cannot build an IPv4 address from {address!r}")
+
+    @staticmethod
+    def _parse(text: str) -> int:
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise AddressError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise AddressError(f"malformed IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise AddressError(f"IPv4 octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __bytes__(self) -> bytes:
+        return self._value.to_bytes(4, "big")
+
+    def __str__(self) -> str:
+        return ".".join(str((self._value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        if isinstance(other, (int, str, bytes)):
+            try:
+                return self._value == IPv4Address(other)._value
+            except AddressError:
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("IPv4Address", self._value))
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self._value < int(other)
+
+    def is_multicast(self) -> bool:
+        return 0xE0000000 <= self._value <= 0xEFFFFFFF
+
+    def is_loopback(self) -> bool:
+        return (self._value >> 24) == 127
+
+    def is_broadcast(self) -> bool:
+        return self._value == 0xFFFFFFFF
+
+
+class IPv4Prefix:
+    """An IPv4 prefix (network address plus prefix length)."""
+
+    __slots__ = ("network", "length")
+
+    def __init__(self, prefix: Union[str, "IPv4Prefix"], length: int | None = None) -> None:
+        if isinstance(prefix, IPv4Prefix):
+            self.network = prefix.network
+            self.length = prefix.length
+            return
+        if isinstance(prefix, str) and "/" in prefix and length is None:
+            address_text, length_text = prefix.split("/", 1)
+            address = IPv4Address(address_text)
+            length = int(length_text)
+        else:
+            address = IPv4Address(prefix)  # type: ignore[arg-type]
+            length = 32 if length is None else length
+        if not 0 <= length <= 32:
+            raise AddressError(f"prefix length out of range: {length}")
+        self.length = length
+        self.network = IPv4Address(int(address) & self.mask())
+
+    def mask(self) -> int:
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    def contains(self, address: Union[IPv4Address, int, str]) -> bool:
+        return (int(IPv4Address(address)) & self.mask()) == int(self.network)
+
+    def addresses(self) -> Iterator[IPv4Address]:
+        """Iterate every address in the prefix (use only for small prefixes)."""
+        base = int(self.network)
+        for offset in range(1 << (32 - self.length)):
+            yield IPv4Address(base + offset)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Prefix({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Prefix):
+            return NotImplemented
+        return self.network == other.network and self.length == other.length
+
+    def __hash__(self) -> int:
+        return hash(("IPv4Prefix", int(self.network), self.length))
+
+
+class EthernetAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, address: Union[str, int, bytes, "EthernetAddress"]) -> None:
+        if isinstance(address, EthernetAddress):
+            self._value = address._value
+        elif isinstance(address, int):
+            if not 0 <= address <= 0xFFFFFFFFFFFF:
+                raise AddressError(f"Ethernet address out of range: {address}")
+            self._value = address
+        elif isinstance(address, bytes):
+            if len(address) != 6:
+                raise AddressError(f"Ethernet address needs 6 bytes, got {len(address)}")
+            self._value = int.from_bytes(address, "big")
+        elif isinstance(address, str):
+            self._value = self._parse(address)
+        else:
+            raise AddressError(f"cannot build an Ethernet address from {address!r}")
+
+    @staticmethod
+    def _parse(text: str) -> int:
+        separator = ":" if ":" in text else "-"
+        parts = text.strip().split(separator)
+        if len(parts) != 6:
+            raise AddressError(f"malformed Ethernet address: {text!r}")
+        value = 0
+        for part in parts:
+            try:
+                octet = int(part, 16)
+            except ValueError as exc:
+                raise AddressError(f"malformed Ethernet address: {text!r}") from exc
+            if not 0 <= octet <= 255:
+                raise AddressError(f"Ethernet octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __bytes__(self) -> bytes:
+        return self._value.to_bytes(6, "big")
+
+    def __str__(self) -> str:
+        return ":".join(f"{(self._value >> shift) & 0xFF:02x}" for shift in (40, 32, 24, 16, 8, 0))
+
+    def __repr__(self) -> str:
+        return f"EthernetAddress({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EthernetAddress):
+            return self._value == other._value
+        if isinstance(other, (int, str, bytes)):
+            try:
+                return self._value == EthernetAddress(other)._value
+            except AddressError:
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("EthernetAddress", self._value))
+
+    def is_broadcast(self) -> bool:
+        return self._value == 0xFFFFFFFFFFFF
+
+    def is_multicast(self) -> bool:
+        return bool((self._value >> 40) & 0x01)

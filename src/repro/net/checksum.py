@@ -1,0 +1,52 @@
+"""The Internet checksum (RFC 1071) used by IPv4, TCP, UDP and ICMP."""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of ``data``.
+
+    ``initial`` allows chaining partial sums (e.g. a pseudo-header followed
+    by a payload).  The returned value is the checksum to be stored in the
+    header (i.e. already complemented).
+    """
+    total = initial
+    length = len(data)
+    for index in range(0, length - 1, 2):
+        total += (data[index] << 8) | data[index + 1]
+    if length % 2:
+        total += data[-1] << 8
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def ones_complement_sum(data: bytes, initial: int = 0) -> int:
+    """Running one's-complement sum (not complemented) for incremental updates."""
+    total = initial
+    length = len(data)
+    for index in range(0, length - 1, 2):
+        total += (data[index] << 8) | data[index + 1]
+    if length % 2:
+        total += data[-1] << 8
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if ``data`` (with its checksum field in place) sums to zero."""
+    return internet_checksum(data) == 0
+
+
+def incremental_update(old_checksum: int, old_field: int, new_field: int) -> int:
+    """RFC 1624 incremental checksum update for a single 16-bit field change.
+
+    Used by DecTTL-style elements that rewrite one header field and must
+    patch the checksum without recomputing it over the whole header.
+    """
+    # checksum' = ~(~checksum + ~old_field + new_field)
+    total = (~old_checksum & 0xFFFF) + (~old_field & 0xFFFF) + (new_field & 0xFFFF)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF

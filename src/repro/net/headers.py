@@ -1,0 +1,295 @@
+"""Header codecs for Ethernet, IPv4, TCP and UDP.
+
+These classes serve the *concrete* side of the system: workload
+generators, examples and integration tests use them to build byte-exact
+packets; the dataplane elements themselves parse headers field-by-field
+through the IR (so that the same code path is symbolically executed).
+
+Field offsets exported here are shared with the element implementations
+so both sides agree on the wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from .addresses import EthernetAddress, IPv4Address
+from .checksum import internet_checksum
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+#: Byte layout constants shared with the IR-level element programs.
+ETHERNET_HEADER_LEN = 14
+ETHERNET_DST_OFFSET = 0
+ETHERNET_SRC_OFFSET = 6
+ETHERNET_TYPE_OFFSET = 12
+
+IPV4_MIN_HEADER_LEN = 20
+IPV4_VERSION_IHL_OFFSET = 0
+IPV4_TOS_OFFSET = 1
+IPV4_TOTAL_LENGTH_OFFSET = 2
+IPV4_ID_OFFSET = 4
+IPV4_FLAGS_FRAG_OFFSET = 6
+IPV4_TTL_OFFSET = 8
+IPV4_PROTO_OFFSET = 9
+IPV4_CHECKSUM_OFFSET = 10
+IPV4_SRC_OFFSET = 12
+IPV4_DST_OFFSET = 16
+IPV4_OPTIONS_OFFSET = 20
+
+UDP_HEADER_LEN = 8
+TCP_MIN_HEADER_LEN = 20
+
+
+class HeaderError(ValueError):
+    """Raised when a header cannot be parsed or serialised."""
+
+
+@dataclass
+class EthernetHeader:
+    """An Ethernet II header."""
+
+    dst: EthernetAddress = field(default_factory=lambda: EthernetAddress(0))
+    src: EthernetAddress = field(default_factory=lambda: EthernetAddress(0))
+    ethertype: int = ETHERTYPE_IPV4
+
+    def pack(self) -> bytes:
+        return bytes(self.dst) + bytes(self.src) + self.ethertype.to_bytes(2, "big")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < ETHERNET_HEADER_LEN:
+            raise HeaderError(f"Ethernet header needs {ETHERNET_HEADER_LEN} bytes, got {len(data)}")
+        return cls(
+            dst=EthernetAddress(data[0:6]),
+            src=EthernetAddress(data[6:12]),
+            ethertype=int.from_bytes(data[12:14], "big"),
+        )
+
+
+@dataclass
+class IPv4Header:
+    """An IPv4 header, including options."""
+
+    src: IPv4Address = field(default_factory=lambda: IPv4Address(0))
+    dst: IPv4Address = field(default_factory=lambda: IPv4Address(0))
+    protocol: int = IPPROTO_UDP
+    ttl: int = 64
+    tos: int = 0
+    identification: int = 0
+    flags: int = 0
+    fragment_offset: int = 0
+    total_length: Optional[int] = None  # filled from payload when packing if None
+    checksum: Optional[int] = None      # computed when packing if None
+    options: bytes = b""
+    payload_length: int = 0             # used when total_length is None
+
+    @property
+    def ihl(self) -> int:
+        """Header length in 32-bit words (5 when there are no options)."""
+        options_len = len(self.options)
+        if options_len % 4:
+            raise HeaderError("IPv4 options must be padded to a multiple of 4 bytes")
+        return 5 + options_len // 4
+
+    def header_length(self) -> int:
+        return self.ihl * 4
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        total_length = self.total_length
+        if total_length is None:
+            total_length = self.header_length() + (len(payload) or self.payload_length)
+        version_ihl = (4 << 4) | self.ihl
+        flags_frag = ((self.flags & 0x7) << 13) | (self.fragment_offset & 0x1FFF)
+        header = bytearray()
+        header.append(version_ihl)
+        header.append(self.tos & 0xFF)
+        header += total_length.to_bytes(2, "big")
+        header += self.identification.to_bytes(2, "big")
+        header += flags_frag.to_bytes(2, "big")
+        header.append(self.ttl & 0xFF)
+        header.append(self.protocol & 0xFF)
+        header += b"\x00\x00"  # checksum placeholder
+        header += bytes(self.src)
+        header += bytes(self.dst)
+        header += self.options
+        checksum = self.checksum
+        if checksum is None:
+            checksum = internet_checksum(bytes(header))
+        header[10:12] = checksum.to_bytes(2, "big")
+        return bytes(header) + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4Header":
+        if len(data) < IPV4_MIN_HEADER_LEN:
+            raise HeaderError(f"IPv4 header needs at least 20 bytes, got {len(data)}")
+        version = data[0] >> 4
+        ihl = data[0] & 0x0F
+        if version != 4:
+            raise HeaderError(f"not an IPv4 packet (version={version})")
+        if ihl < 5:
+            raise HeaderError(f"invalid IHL {ihl}")
+        header_len = ihl * 4
+        if len(data) < header_len:
+            raise HeaderError(f"truncated IPv4 header: need {header_len} bytes, got {len(data)}")
+        flags_frag = int.from_bytes(data[6:8], "big")
+        return cls(
+            src=IPv4Address(data[12:16]),
+            dst=IPv4Address(data[16:20]),
+            protocol=data[9],
+            ttl=data[8],
+            tos=data[1],
+            identification=int.from_bytes(data[4:6], "big"),
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            total_length=int.from_bytes(data[2:4], "big"),
+            checksum=int.from_bytes(data[10:12], "big"),
+            options=bytes(data[20:header_len]),
+        )
+
+
+@dataclass
+class UDPHeader:
+    """A UDP header."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    length: Optional[int] = None
+    checksum: int = 0
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        length = self.length if self.length is not None else UDP_HEADER_LEN + len(payload)
+        header = (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + length.to_bytes(2, "big")
+            + self.checksum.to_bytes(2, "big")
+        )
+        return header + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        if len(data) < UDP_HEADER_LEN:
+            raise HeaderError(f"UDP header needs 8 bytes, got {len(data)}")
+        return cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            length=int.from_bytes(data[4:6], "big"),
+            checksum=int.from_bytes(data[6:8], "big"),
+        )
+
+
+@dataclass
+class TCPHeader:
+    """A TCP header (without options unless supplied)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    sequence: int = 0
+    acknowledgment: int = 0
+    flags: int = 0x02  # SYN by default
+    window: int = 65535
+    checksum: int = 0
+    urgent: int = 0
+    options: bytes = b""
+
+    @property
+    def data_offset(self) -> int:
+        options_len = len(self.options)
+        if options_len % 4:
+            raise HeaderError("TCP options must be padded to a multiple of 4 bytes")
+        return 5 + options_len // 4
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        offset_flags = (self.data_offset << 12) | (self.flags & 0x1FF)
+        header = (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + self.sequence.to_bytes(4, "big")
+            + self.acknowledgment.to_bytes(4, "big")
+            + offset_flags.to_bytes(2, "big")
+            + self.window.to_bytes(2, "big")
+            + self.checksum.to_bytes(2, "big")
+            + self.urgent.to_bytes(2, "big")
+            + self.options
+        )
+        return header + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TCPHeader":
+        if len(data) < TCP_MIN_HEADER_LEN:
+            raise HeaderError(f"TCP header needs at least 20 bytes, got {len(data)}")
+        offset_flags = int.from_bytes(data[12:14], "big")
+        data_offset = offset_flags >> 12
+        header_len = data_offset * 4
+        return cls(
+            src_port=int.from_bytes(data[0:2], "big"),
+            dst_port=int.from_bytes(data[2:4], "big"),
+            sequence=int.from_bytes(data[4:8], "big"),
+            acknowledgment=int.from_bytes(data[8:12], "big"),
+            flags=offset_flags & 0x1FF,
+            window=int.from_bytes(data[14:16], "big"),
+            checksum=int.from_bytes(data[16:18], "big"),
+            urgent=int.from_bytes(data[18:20], "big"),
+            options=bytes(data[20:header_len]) if len(data) >= header_len else b"",
+        )
+
+
+# -- convenience builders ---------------------------------------------------------------
+
+
+def build_udp_datagram(
+    src_port: int, dst_port: int, payload: bytes = b""
+) -> bytes:
+    """A UDP datagram (header + payload) with the length field filled in."""
+    return UDPHeader(src_port=src_port, dst_port=dst_port).pack(payload)
+
+
+def build_tcp_segment(
+    src_port: int, dst_port: int, payload: bytes = b"", flags: int = 0x02
+) -> bytes:
+    """A TCP segment (header + payload)."""
+    return TCPHeader(src_port=src_port, dst_port=dst_port, flags=flags).pack(payload)
+
+
+def build_ipv4_packet(
+    src: Union[str, IPv4Address],
+    dst: Union[str, IPv4Address],
+    payload: bytes = b"",
+    protocol: int = IPPROTO_UDP,
+    ttl: int = 64,
+    options: bytes = b"",
+    checksum: Optional[int] = None,
+    total_length: Optional[int] = None,
+) -> bytes:
+    """An IPv4 packet with a valid (or explicitly overridden) checksum."""
+    header = IPv4Header(
+        src=IPv4Address(src),
+        dst=IPv4Address(dst),
+        protocol=protocol,
+        ttl=ttl,
+        options=options,
+        checksum=checksum,
+        total_length=total_length,
+    )
+    return header.pack(payload)
+
+
+def build_ethernet_frame(
+    dst: Union[str, EthernetAddress],
+    src: Union[str, EthernetAddress],
+    payload: bytes,
+    ethertype: int = ETHERTYPE_IPV4,
+) -> bytes:
+    """An Ethernet frame wrapping ``payload``."""
+    header = EthernetHeader(
+        dst=EthernetAddress(dst), src=EthernetAddress(src), ethertype=ethertype
+    )
+    return header.pack() + payload

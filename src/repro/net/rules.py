@@ -1,0 +1,142 @@
+"""Classifier rule language.
+
+Click's ``Classifier`` element matches packets against patterns of the
+form ``offset/value[%mask]`` (for example ``12/0800`` matches an IPv4
+ethertype at byte offset 12).  This module parses that pattern syntax and
+represents compiled rules; the ``Classifier`` element turns them into IR
+branches so the same rules drive both concrete classification and
+symbolic verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class RuleError(ValueError):
+    """Raised when a classifier pattern cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class ClassifierPattern:
+    """One ``offset/value%mask`` conjunct of a classifier rule.
+
+    ``value`` and ``mask`` cover ``len(mask)`` bytes starting at ``offset``.
+    A packet matches when ``packet[offset:offset+n] & mask == value & mask``.
+    """
+
+    offset: int
+    value: bytes
+    mask: bytes
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise RuleError(f"negative offset in classifier pattern: {self.offset}")
+        if len(self.value) != len(self.mask):
+            raise RuleError("classifier pattern value and mask lengths differ")
+        if not self.value:
+            raise RuleError("classifier pattern must cover at least one byte")
+
+    @property
+    def length(self) -> int:
+        return len(self.value)
+
+    def matches(self, data: bytes) -> bool:
+        """Concrete match against raw packet bytes."""
+        end = self.offset + self.length
+        if end > len(data):
+            return False
+        window = data[self.offset : end]
+        return all((w & m) == (v & m) for w, v, m in zip(window, self.value, self.mask))
+
+    def __str__(self) -> str:
+        value_hex = self.value.hex()
+        if all(m == 0xFF for m in self.mask):
+            return f"{self.offset}/{value_hex}"
+        return f"{self.offset}/{value_hex}%{self.mask.hex()}"
+
+
+@dataclass(frozen=True)
+class ClassifierRule:
+    """A conjunction of patterns mapped to an output port.
+
+    The special "catch-all" rule (no patterns) matches every packet and is
+    written ``-`` in Click configurations.
+    """
+
+    patterns: Tuple[ClassifierPattern, ...]
+    port: int
+
+    def matches(self, data: bytes) -> bool:
+        return all(pattern.matches(data) for pattern in self.patterns)
+
+    def is_catch_all(self) -> bool:
+        return not self.patterns
+
+    def __str__(self) -> str:
+        if self.is_catch_all():
+            return f"- -> {self.port}"
+        body = " ".join(str(pattern) for pattern in self.patterns)
+        return f"{body} -> {self.port}"
+
+
+def _parse_hex_with_wildcards(text: str) -> Tuple[bytes, bytes]:
+    """Parse a hex string where '?' nibbles are wildcards; return (value, mask)."""
+    if len(text) % 2:
+        text += "?"  # odd number of nibbles: final low nibble is a wildcard
+    value = bytearray()
+    mask = bytearray()
+    for index in range(0, len(text), 2):
+        pair = text[index : index + 2]
+        byte_value = 0
+        byte_mask = 0
+        for position, char in enumerate(pair):
+            shift = 4 if position == 0 else 0
+            if char == "?":
+                continue
+            try:
+                nibble = int(char, 16)
+            except ValueError as exc:
+                raise RuleError(f"bad hex digit {char!r} in pattern {text!r}") from exc
+            byte_value |= nibble << shift
+            byte_mask |= 0xF << shift
+        value.append(byte_value)
+        mask.append(byte_mask)
+    return bytes(value), bytes(mask)
+
+
+def parse_classifier_pattern(text: str) -> ClassifierPattern:
+    """Parse one ``offset/value[%mask]`` conjunct."""
+    text = text.strip()
+    if "/" not in text:
+        raise RuleError(f"classifier pattern missing '/': {text!r}")
+    offset_text, remainder = text.split("/", 1)
+    try:
+        offset = int(offset_text)
+    except ValueError as exc:
+        raise RuleError(f"bad offset in classifier pattern {text!r}") from exc
+    if "%" in remainder:
+        value_text, mask_text = remainder.split("%", 1)
+        value, implicit_mask = _parse_hex_with_wildcards(value_text)
+        explicit_mask, _ = _parse_hex_with_wildcards(mask_text)
+        if len(explicit_mask) != len(value):
+            raise RuleError(f"mask length does not match value length in {text!r}")
+        mask = bytes(a & b for a, b in zip(implicit_mask, explicit_mask))
+    else:
+        value, mask = _parse_hex_with_wildcards(remainder)
+    return ClassifierPattern(offset=offset, value=value, mask=mask)
+
+
+def parse_classifier_rule(text: str, port: int) -> ClassifierRule:
+    """Parse a full rule: whitespace-separated conjuncts, or ``-`` for catch-all."""
+    text = text.strip()
+    if text in ("-", ""):
+        return ClassifierRule(patterns=(), port=port)
+    patterns = tuple(parse_classifier_pattern(part) for part in text.split())
+    return ClassifierRule(patterns=patterns, port=port)
+
+
+def parse_classifier_config(rules: Sequence[str]) -> List[ClassifierRule]:
+    """Parse a Click-style Classifier configuration (one rule per output port)."""
+    return [parse_classifier_rule(rule, port) for port, rule in enumerate(rules)]

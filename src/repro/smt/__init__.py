@@ -1,0 +1,127 @@
+"""``repro.smt`` — a from-scratch QF_BV constraint solver.
+
+The symbolic executor and verifier state all of their constraints in this
+term language and decide them with :class:`Solver`.  The implementation
+consists of an immutable term DAG, an algebraic simplifier, an
+interval-domain quick check, a Tseitin bit-blaster, and a CDCL SAT solver.
+
+Typical usage::
+
+    from repro.smt import BitVec, BitVecVal, Solver, ULT, And
+
+    x = BitVec("x", 8)
+    solver = Solver()
+    solver.add(And(ULT(x, 10), x > 3))
+    assert solver.check() == "sat"
+    print(solver.model()["x"])
+"""
+
+from .builder import (
+    AShR,
+    And,
+    BitVec,
+    BitVecVal,
+    Bool,
+    BoolVal,
+    Concat,
+    Distinct,
+    Eq,
+    Extract,
+    If,
+    Iff,
+    Implies,
+    LShR,
+    Not,
+    Or,
+    SGE,
+    SGT,
+    SLE,
+    SLT,
+    SignExt,
+    UDiv,
+    UGE,
+    UGT,
+    ULE,
+    ULT,
+    URem,
+    Xor,
+    ZeroExt,
+    conjoin,
+    disjoin,
+    rename_variables,
+    substitute,
+)
+from .errors import (
+    BudgetExceededError,
+    EvaluationError,
+    InvalidTermError,
+    SmtError,
+    SolverError,
+    SortMismatchError,
+)
+from .evaluate import evaluate
+from .model import Model
+from .simplify import is_literal_false, is_literal_true, simplify
+from .solver import CheckResult, Solver, SolverStatistics, check_formula
+from .sorts import BOOL, BitVecSort, BoolSort, Sort, bitvec
+from .terms import FALSE, TRUE, Op, Term
+
+__all__ = [
+    "AShR",
+    "And",
+    "BOOL",
+    "BitVec",
+    "BitVecSort",
+    "BitVecVal",
+    "Bool",
+    "BoolSort",
+    "BoolVal",
+    "BudgetExceededError",
+    "CheckResult",
+    "Concat",
+    "Distinct",
+    "Eq",
+    "EvaluationError",
+    "Extract",
+    "FALSE",
+    "If",
+    "Iff",
+    "Implies",
+    "InvalidTermError",
+    "LShR",
+    "Model",
+    "Not",
+    "Op",
+    "Or",
+    "SGE",
+    "SGT",
+    "SLE",
+    "SLT",
+    "SignExt",
+    "SmtError",
+    "Solver",
+    "SolverError",
+    "SolverStatistics",
+    "Sort",
+    "SortMismatchError",
+    "TRUE",
+    "Term",
+    "UDiv",
+    "UGE",
+    "UGT",
+    "ULE",
+    "ULT",
+    "URem",
+    "Xor",
+    "ZeroExt",
+    "bitvec",
+    "check_formula",
+    "conjoin",
+    "disjoin",
+    "evaluate",
+    "is_literal_false",
+    "is_literal_true",
+    "rename_variables",
+    "simplify",
+    "substitute",
+]

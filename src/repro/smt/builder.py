@@ -1,0 +1,232 @@
+"""Public construction API for SMT terms.
+
+This module is the surface the rest of the code base imports: it mirrors
+the small subset of the z3 Python API that the symbolic executor and the
+verifier need, implemented on top of :mod:`repro.smt.terms`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from . import terms
+from .errors import SortMismatchError
+from .terms import FALSE, TRUE, Op, Term
+
+TermLike = Union[Term, int, bool]
+
+
+def BitVec(name: str, width: int) -> Term:
+    """A fresh symbolic bitvector variable of the given width."""
+    return terms.mk_bv_var(name, width)
+
+
+def BitVecVal(value: int, width: int) -> Term:
+    """A bitvector constant (value is reduced modulo ``2**width``)."""
+    return terms.mk_bv_const(value, width)
+
+
+def Bool(name: str) -> Term:
+    """A fresh symbolic boolean variable."""
+    return terms.mk_bool_var(name)
+
+
+def BoolVal(value: bool) -> Term:
+    """The boolean constant ``true`` or ``false``."""
+    return TRUE if value else FALSE
+
+
+def _as_bool(term: TermLike) -> Term:
+    if isinstance(term, Term):
+        if not term.is_bool():
+            raise SortMismatchError(f"expected a boolean term, got {term!r}")
+        return term
+    if isinstance(term, bool):
+        return BoolVal(term)
+    raise SortMismatchError(f"expected a boolean term, got {term!r}")
+
+
+def _as_bv(term: TermLike, width_hint: int | None = None) -> Term:
+    if isinstance(term, Term):
+        if not term.is_bitvec():
+            raise SortMismatchError(f"expected a bitvector term, got {term!r}")
+        return term
+    if isinstance(term, int) and width_hint is not None:
+        return BitVecVal(term, width_hint)
+    raise SortMismatchError(f"expected a bitvector term, got {term!r}")
+
+
+def And(*args: TermLike) -> Term:
+    """Boolean conjunction (n-ary, flattened)."""
+    return terms.mk_and(*[_as_bool(a) for a in args])
+
+
+def Or(*args: TermLike) -> Term:
+    """Boolean disjunction (n-ary, flattened)."""
+    return terms.mk_or(*[_as_bool(a) for a in args])
+
+
+def Not(arg: TermLike) -> Term:
+    """Boolean negation."""
+    return terms.mk_not(_as_bool(arg))
+
+
+def Xor(a: TermLike, b: TermLike) -> Term:
+    return terms.mk_xor(_as_bool(a), _as_bool(b))
+
+
+def Implies(a: TermLike, b: TermLike) -> Term:
+    return terms.mk_implies(_as_bool(a), _as_bool(b))
+
+
+def Iff(a: TermLike, b: TermLike) -> Term:
+    return terms.mk_eq(_as_bool(a), _as_bool(b))
+
+
+def Eq(a: Term, b: TermLike) -> Term:
+    """Equality between two bitvectors (or two booleans)."""
+    if isinstance(b, int) and isinstance(a, Term) and a.is_bitvec():
+        b = BitVecVal(b, a.width)
+    return terms.mk_eq(a, b)  # type: ignore[arg-type]
+
+
+def Distinct(a: Term, b: TermLike) -> Term:
+    return Not(Eq(a, b))
+
+
+def ULT(a: Term, b: TermLike) -> Term:
+    return terms.mk_cmp(Op.ULT, a, _as_bv(b, a.width))
+
+
+def ULE(a: Term, b: TermLike) -> Term:
+    return terms.mk_cmp(Op.ULE, a, _as_bv(b, a.width))
+
+
+def UGT(a: Term, b: TermLike) -> Term:
+    return terms.mk_cmp(Op.ULT, _as_bv(b, a.width), a)
+
+
+def UGE(a: Term, b: TermLike) -> Term:
+    return terms.mk_cmp(Op.ULE, _as_bv(b, a.width), a)
+
+
+def SLT(a: Term, b: TermLike) -> Term:
+    return terms.mk_cmp(Op.SLT, a, _as_bv(b, a.width))
+
+
+def SLE(a: Term, b: TermLike) -> Term:
+    return terms.mk_cmp(Op.SLE, a, _as_bv(b, a.width))
+
+
+def SGT(a: Term, b: TermLike) -> Term:
+    return terms.mk_cmp(Op.SLT, _as_bv(b, a.width), a)
+
+
+def SGE(a: Term, b: TermLike) -> Term:
+    return terms.mk_cmp(Op.SLE, _as_bv(b, a.width), a)
+
+
+def If(cond: TermLike, then: Term, other: Term) -> Term:
+    """If-then-else over bitvectors or booleans."""
+    return terms.mk_ite(_as_bool(cond), then, other)
+
+
+def Concat(*args: Term) -> Term:
+    """Concatenate bitvectors, most-significant first."""
+    return terms.mk_concat(*args)
+
+
+def Extract(hi: int, lo: int, term: Term) -> Term:
+    """Extract bits ``hi:lo`` (inclusive) from a bitvector."""
+    return terms.mk_extract(term, hi, lo)
+
+
+def ZeroExt(extra: int, term: Term) -> Term:
+    """Zero-extend a bitvector by ``extra`` bits."""
+    return terms.mk_zero_extend(term, extra)
+
+
+def SignExt(extra: int, term: Term) -> Term:
+    """Sign-extend a bitvector by ``extra`` bits."""
+    return terms.mk_sign_extend(term, extra)
+
+
+def UDiv(a: Term, b: TermLike) -> Term:
+    return terms.mk_bv_binop(Op.BV_UDIV, a, _as_bv(b, a.width))
+
+
+def URem(a: Term, b: TermLike) -> Term:
+    return terms.mk_bv_binop(Op.BV_UREM, a, _as_bv(b, a.width))
+
+
+def LShR(a: Term, b: TermLike) -> Term:
+    """Logical shift right (``>>`` on terms is also logical)."""
+    return terms.mk_bv_binop(Op.BV_LSHR, a, _as_bv(b, a.width))
+
+
+def AShR(a: Term, b: TermLike) -> Term:
+    """Arithmetic shift right."""
+    return terms.mk_bv_binop(Op.BV_ASHR, a, _as_bv(b, a.width))
+
+
+def conjoin(parts: Iterable[Term]) -> Term:
+    """``And`` over an iterable (convenience for path-constraint assembly)."""
+    return And(*list(parts))
+
+
+def disjoin(parts: Iterable[Term]) -> Term:
+    """``Or`` over an iterable."""
+    return Or(*list(parts))
+
+
+def substitute(term: Term, bindings: dict[str, Term]) -> Term:
+    """Replace free variables by name with the supplied terms.
+
+    This is the primitive the Step-2 composition engine uses to rewrite a
+    downstream segment's constraint over the upstream segment's symbolic
+    output: the downstream element's input variables are substituted with
+    the upstream element's output expressions.
+    """
+    cache: dict[int, Term] = {}
+
+    def walk(node: Term) -> Term:
+        cached = cache.get(id(node))
+        if cached is not None:
+            return cached
+        if node.is_var():
+            result = bindings.get(node.name, node)  # type: ignore[arg-type]
+            if result is not node and result.sort != node.sort:
+                raise SortMismatchError(
+                    f"substitution for {node.name!r} has sort {result.sort}, "
+                    f"expected {node.sort}"
+                )
+        elif not node.args:
+            result = node
+        else:
+            new_args = tuple(walk(arg) for arg in node.args)
+            if all(a is b for a, b in zip(new_args, node.args)):
+                result = node
+            else:
+                result = Term(
+                    node.op,
+                    new_args,
+                    node.sort,
+                    value=node.value,
+                    name=node.name,
+                    params=node.params,
+                )
+        cache[id(node)] = result
+        return result
+
+    return walk(term)
+
+
+def rename_variables(term: Term, suffix: str) -> Term:
+    """Append ``suffix`` to every free variable name (used to freshen summaries)."""
+    bindings: dict[str, Term] = {}
+    for name, var in term.free_variables().items():
+        if var.is_bitvec():
+            bindings[name] = BitVec(name + suffix, var.width)
+        else:
+            bindings[name] = Bool(name + suffix)
+    return substitute(term, bindings)

@@ -1,0 +1,44 @@
+"""Exception types raised by the :mod:`repro.smt` constraint solver."""
+
+from __future__ import annotations
+
+
+class SmtError(Exception):
+    """Base class for all solver-related errors."""
+
+
+class SortMismatchError(SmtError):
+    """Raised when an operation is applied to terms of incompatible sorts.
+
+    For example adding a 16-bit and a 32-bit bitvector, or using a
+    bitvector where a boolean is required.
+    """
+
+
+class InvalidTermError(SmtError):
+    """Raised when a term is constructed with malformed arguments.
+
+    Examples: an extract whose bounds exceed the operand width, a
+    bitvector constant that does not fit in its width, or an unknown
+    operator passed to the generic constructor.
+    """
+
+
+class SolverError(SmtError):
+    """Raised when the solver is used incorrectly.
+
+    Examples: requesting a model before a satisfiable ``check()``, or
+    popping more scopes than were pushed.
+    """
+
+
+class EvaluationError(SmtError):
+    """Raised when a term cannot be evaluated under a given assignment.
+
+    Typically this means the assignment does not bind one of the free
+    variables appearing in the term.
+    """
+
+
+class BudgetExceededError(SmtError):
+    """Raised when a solver query exceeds its configured resource budget."""

@@ -1,0 +1,431 @@
+"""Rewriting simplifier for SMT terms.
+
+Bottom-up, cache-assisted rewriting: constant folding plus a catalogue of
+algebraic identities chosen for the term shapes the symbolic executor
+produces (packet-field extracts, additions of small constants, chained
+comparisons).  Simplification is semantics-preserving; the property-based
+tests check every rule against concrete evaluation.
+"""
+
+from __future__ import annotations
+
+from .evaluate import evaluate
+from .terms import (
+    FALSE,
+    TRUE,
+    Op,
+    Term,
+    mk_and,
+    mk_bv_const,
+    mk_cmp,
+    mk_concat,
+    mk_eq,
+    mk_extract,
+    mk_ite,
+    mk_not,
+    mk_or,
+)
+
+
+def simplify(term: Term) -> Term:
+    """Return a simplified term equivalent to ``term``."""
+    cache: dict[int, Term] = {}
+
+    def walk(node: Term) -> Term:
+        hit = cache.get(id(node))
+        if hit is not None:
+            return hit
+        if not node.args:
+            cache[id(node)] = node
+            return node
+        new_args = tuple(walk(arg) for arg in node.args)
+        if all(a is b for a, b in zip(new_args, node.args)):
+            rebuilt = node
+        else:
+            rebuilt = Term(
+                node.op, new_args, node.sort, value=node.value, name=node.name, params=node.params
+            )
+        result = _rewrite(rebuilt)
+        cache[id(node)] = result
+        return result
+
+    return walk(term)
+
+
+def is_literal_true(term: Term) -> bool:
+    """True if the term simplifies to the constant ``true``."""
+    return simplify(term).is_true()
+
+
+def is_literal_false(term: Term) -> bool:
+    """True if the term simplifies to the constant ``false``."""
+    return simplify(term).is_false()
+
+
+def _rewrite(node: Term) -> Term:
+    # Constant folding: every child is a constant.
+    if node.args and all(arg.is_const() for arg in node.args):
+        value = evaluate(node, {})
+        if node.is_bool():
+            return TRUE if value else FALSE
+        return mk_bv_const(int(value), node.width)
+
+    handler = _RULES.get(node.op)
+    if handler is None:
+        return node
+    return handler(node)
+
+
+# -- boolean rules -------------------------------------------------------------------
+
+
+def _rw_not(node: Term) -> Term:
+    (arg,) = node.args
+    if arg.is_true():
+        return FALSE
+    if arg.is_false():
+        return TRUE
+    if arg.op == Op.NOT:
+        return arg.args[0]
+    # Push negation into comparisons: not(a < b)  ->  b <= a.
+    if arg.op == Op.ULT:
+        return mk_cmp(Op.ULE, arg.args[1], arg.args[0])
+    if arg.op == Op.ULE:
+        return mk_cmp(Op.ULT, arg.args[1], arg.args[0])
+    if arg.op == Op.SLT:
+        return mk_cmp(Op.SLE, arg.args[1], arg.args[0])
+    if arg.op == Op.SLE:
+        return mk_cmp(Op.SLT, arg.args[1], arg.args[0])
+    return node
+
+
+def _rw_and(node: Term) -> Term:
+    kept: list[Term] = []
+    seen: set[str] = set()
+    for arg in node.args:
+        if arg.is_true():
+            continue
+        if arg.is_false():
+            return FALSE
+        key = arg.to_sexpr(max_depth=16)
+        if key in seen:
+            continue
+        seen.add(key)
+        # a ∧ ¬a  →  false
+        negated = mk_not(arg) if arg.op != Op.NOT else arg.args[0]
+        neg_key = negated.to_sexpr(max_depth=16)
+        if neg_key in seen:
+            return FALSE
+        kept.append(arg)
+    if not kept:
+        return TRUE
+    if len(kept) == 1:
+        return kept[0]
+    return mk_and(*kept)
+
+
+def _rw_or(node: Term) -> Term:
+    kept: list[Term] = []
+    seen: set[str] = set()
+    for arg in node.args:
+        if arg.is_false():
+            continue
+        if arg.is_true():
+            return TRUE
+        key = arg.to_sexpr(max_depth=16)
+        if key in seen:
+            continue
+        seen.add(key)
+        negated = mk_not(arg) if arg.op != Op.NOT else arg.args[0]
+        if negated.to_sexpr(max_depth=16) in seen:
+            return TRUE
+        kept.append(arg)
+    if not kept:
+        return FALSE
+    if len(kept) == 1:
+        return kept[0]
+    return mk_or(*kept)
+
+
+def _rw_implies(node: Term) -> Term:
+    a, b = node.args
+    if a.is_false() or b.is_true():
+        return TRUE
+    if a.is_true():
+        return b
+    if b.is_false():
+        return _rw_not(mk_not(a)) if a.op == Op.NOT else mk_not(a)
+    return node
+
+
+def _rw_iff(node: Term) -> Term:
+    a, b = node.args
+    if a.structurally_equal(b):
+        return TRUE
+    if a.is_true():
+        return b
+    if b.is_true():
+        return a
+    if a.is_false():
+        return mk_not(b)
+    if b.is_false():
+        return mk_not(a)
+    return node
+
+
+def _rw_xor(node: Term) -> Term:
+    a, b = node.args
+    if a.structurally_equal(b):
+        return FALSE
+    if a.is_false():
+        return b
+    if b.is_false():
+        return a
+    if a.is_true():
+        return mk_not(b)
+    if b.is_true():
+        return mk_not(a)
+    return node
+
+
+def _rw_bool_ite(node: Term) -> Term:
+    cond, then, other = node.args
+    if cond.is_true():
+        return then
+    if cond.is_false():
+        return other
+    if then.structurally_equal(other):
+        return then
+    if then.is_true() and other.is_false():
+        return cond
+    if then.is_false() and other.is_true():
+        return mk_not(cond)
+    return node
+
+
+# -- comparison rules ---------------------------------------------------------------
+
+
+def _rw_eq(node: Term) -> Term:
+    a, b = node.args
+    if a.structurally_equal(b):
+        return TRUE
+    # x = c with x an extract of a constant etc. is handled by constant folding;
+    # here we handle the frequent "add-of-constant equals constant" shape:
+    #   (x + c1) = c2   →   x = c2 - c1
+    if (
+        a.op == Op.BV_ADD
+        and a.args[1].op == Op.BV_CONST
+        and b.op == Op.BV_CONST
+    ):
+        folded = mk_bv_const(int(b.value) - int(a.args[1].value), a.width)  # type: ignore[arg-type]
+        return mk_eq(a.args[0], folded)
+    return node
+
+
+def _rw_ult(node: Term) -> Term:
+    a, b = node.args
+    if a.structurally_equal(b):
+        return FALSE
+    if b.op == Op.BV_CONST and int(b.value) == 0:  # type: ignore[arg-type]
+        return FALSE  # nothing is unsigned-less-than zero
+    if a.op == Op.BV_CONST and int(a.value) == (1 << a.width) - 1:  # type: ignore[arg-type]
+        return FALSE  # the all-ones value is never less than anything
+    return node
+
+
+def _rw_ule(node: Term) -> Term:
+    a, b = node.args
+    if a.structurally_equal(b):
+        return TRUE
+    if a.op == Op.BV_CONST and int(a.value) == 0:  # type: ignore[arg-type]
+        return TRUE
+    if b.op == Op.BV_CONST and int(b.value) == (1 << b.width) - 1:  # type: ignore[arg-type]
+        return TRUE
+    return node
+
+
+def _rw_slt(node: Term) -> Term:
+    a, b = node.args
+    if a.structurally_equal(b):
+        return FALSE
+    return node
+
+
+def _rw_sle(node: Term) -> Term:
+    a, b = node.args
+    if a.structurally_equal(b):
+        return TRUE
+    return node
+
+
+# -- bitvector rules ----------------------------------------------------------------
+
+
+def _const_value(term: Term) -> int | None:
+    return int(term.value) if term.op == Op.BV_CONST else None  # type: ignore[arg-type]
+
+
+def _rw_add(node: Term) -> Term:
+    a, b = node.args
+    if _const_value(b) == 0:
+        return a
+    if _const_value(a) == 0:
+        return b
+    # Re-associate (x + c1) + c2  →  x + (c1 + c2) so repeated header-offset
+    # arithmetic collapses.
+    if a.op == Op.BV_ADD and a.args[1].op == Op.BV_CONST and b.op == Op.BV_CONST:
+        folded = mk_bv_const(int(a.args[1].value) + int(b.value), node.width)  # type: ignore[arg-type]
+        return _rw_add(Term(Op.BV_ADD, (a.args[0], folded), node.sort))
+    return node
+
+
+def _rw_sub(node: Term) -> Term:
+    a, b = node.args
+    if _const_value(b) == 0:
+        return a
+    if a.structurally_equal(b):
+        return mk_bv_const(0, node.width)
+    return node
+
+
+def _rw_mul(node: Term) -> Term:
+    a, b = node.args
+    for x, y in ((a, b), (b, a)):
+        value = _const_value(y)
+        if value == 0:
+            return mk_bv_const(0, node.width)
+        if value == 1:
+            return x
+    return node
+
+
+def _rw_and_bv(node: Term) -> Term:
+    a, b = node.args
+    mask = (1 << node.width) - 1
+    for x, y in ((a, b), (b, a)):
+        value = _const_value(y)
+        if value == 0:
+            return mk_bv_const(0, node.width)
+        if value == mask:
+            return x
+    if a.structurally_equal(b):
+        return a
+    return node
+
+
+def _rw_or_bv(node: Term) -> Term:
+    a, b = node.args
+    mask = (1 << node.width) - 1
+    for x, y in ((a, b), (b, a)):
+        value = _const_value(y)
+        if value == 0:
+            return x
+        if value == mask:
+            return mk_bv_const(mask, node.width)
+    if a.structurally_equal(b):
+        return a
+    return node
+
+
+def _rw_xor_bv(node: Term) -> Term:
+    a, b = node.args
+    if a.structurally_equal(b):
+        return mk_bv_const(0, node.width)
+    for x, y in ((a, b), (b, a)):
+        if _const_value(y) == 0:
+            return x
+    return node
+
+
+def _rw_shift(node: Term) -> Term:
+    a, b = node.args
+    if _const_value(b) == 0:
+        return a
+    if _const_value(a) == 0:
+        return mk_bv_const(0, node.width)
+    return node
+
+
+def _rw_extract(node: Term) -> Term:
+    (arg,) = node.args
+    hi, lo = node.params
+    if hi == arg.width - 1 and lo == 0:
+        return arg
+    # extract of extract composes.
+    if arg.op == Op.BV_EXTRACT:
+        inner_hi, inner_lo = arg.params
+        return mk_extract(arg.args[0], inner_lo + hi, inner_lo + lo)
+    # extract of a concat that falls entirely inside one operand.
+    if arg.op == Op.BV_CONCAT:
+        offset = 0
+        for child in reversed(arg.args):  # operands are MSB-first; walk from LSB
+            if lo >= offset and hi < offset + child.width:
+                return mk_extract(child, hi - offset, lo - offset)
+            offset += child.width
+    # extract of zero-extension that stays within the original operand.
+    if arg.op == Op.BV_ZEXT and hi < arg.args[0].width:
+        return mk_extract(arg.args[0], hi, lo)
+    if arg.op == Op.BV_ZEXT and lo >= arg.args[0].width:
+        return mk_bv_const(0, hi - lo + 1)
+    return node
+
+
+def _rw_concat(node: Term) -> Term:
+    # Merge adjacent constants.
+    merged: list[Term] = []
+    for child in node.args:
+        if merged and merged[-1].op == Op.BV_CONST and child.op == Op.BV_CONST:
+            prev = merged.pop()
+            merged.append(
+                mk_bv_const(
+                    (int(prev.value) << child.width) | int(child.value),  # type: ignore[arg-type]
+                    prev.width + child.width,
+                )
+            )
+        else:
+            merged.append(child)
+    if len(merged) == 1:
+        return merged[0]
+    if len(merged) != len(node.args):
+        return mk_concat(*merged)
+    return node
+
+
+def _rw_bv_ite(node: Term) -> Term:
+    cond, then, other = node.args
+    if cond.is_true():
+        return then
+    if cond.is_false():
+        return other
+    if then.structurally_equal(other):
+        return then
+    return node
+
+
+_RULES = {
+    Op.NOT: _rw_not,
+    Op.AND: _rw_and,
+    Op.OR: _rw_or,
+    Op.IMPLIES: _rw_implies,
+    Op.IFF: _rw_iff,
+    Op.XOR: _rw_xor,
+    Op.BOOL_ITE: _rw_bool_ite,
+    Op.EQ: _rw_eq,
+    Op.ULT: _rw_ult,
+    Op.ULE: _rw_ule,
+    Op.SLT: _rw_slt,
+    Op.SLE: _rw_sle,
+    Op.BV_ADD: _rw_add,
+    Op.BV_SUB: _rw_sub,
+    Op.BV_MUL: _rw_mul,
+    Op.BV_AND: _rw_and_bv,
+    Op.BV_OR: _rw_or_bv,
+    Op.BV_XOR: _rw_xor_bv,
+    Op.BV_SHL: _rw_shift,
+    Op.BV_LSHR: _rw_shift,
+    Op.BV_ASHR: _rw_shift,
+    Op.BV_EXTRACT: _rw_extract,
+    Op.BV_CONCAT: _rw_concat,
+    Op.BV_ITE: _rw_bv_ite,
+}

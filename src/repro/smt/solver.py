@@ -1,0 +1,211 @@
+"""Solver facade: the entry point used by the symbolic executor and verifier.
+
+A :class:`Solver` accumulates boolean assertions (with ``push``/``pop``
+scoping), and decides satisfiability by:
+
+1. rewriting the conjunction with the algebraic simplifier,
+2. trying the unsigned-interval quick check, and
+3. falling back to bit-blasting plus CDCL SAT.
+
+Query results are cached by the simplified constraint's s-expression, which
+matters for Step 2 of the verifier where many composed paths reduce to the
+same residual constraint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .bitblast import BitBlaster
+from .builder import And
+from .errors import SolverError
+from .interval import QuickCheckResult, quick_check
+from .model import Model, model_from_bits
+from .sat import SATSolver, SatResult
+from .simplify import simplify
+from .terms import TRUE, Term
+
+
+class CheckResult:
+    """Tri-state result of a satisfiability check."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStatistics:
+    """Counters describing the work a solver instance has performed."""
+
+    checks: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    quick_check_hits: int = 0
+    cache_hits: int = 0
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    total_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "checks": self.checks,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "unknown": self.unknown,
+            "quick_check_hits": self.quick_check_hits,
+            "cache_hits": self.cache_hits,
+            "sat_conflicts": self.sat_conflicts,
+            "sat_decisions": self.sat_decisions,
+            "total_time": self.total_time,
+        }
+
+
+@dataclass
+class _CachedAnswer:
+    status: str
+    model: Optional[Model] = None
+
+
+class Solver:
+    """Incremental-looking solver over the QF_BV term language.
+
+    The solver is "incremental-looking" rather than truly incremental: each
+    ``check()`` builds a fresh CNF for the current assertion set.  That is the
+    right trade-off here — verifier queries are many, small, and independent,
+    and the per-query cache absorbs the repetition.
+    """
+
+    def __init__(self, max_conflicts: Optional[int] = 200_000, enable_cache: bool = True) -> None:
+        self._assertions: List[Term] = []
+        self._scopes: List[int] = []
+        self._model: Optional[Model] = None
+        self._max_conflicts = max_conflicts
+        self._enable_cache = enable_cache
+        self._cache: Dict[str, _CachedAnswer] = {}
+        self.statistics = SolverStatistics()
+
+    # -- assertion management ------------------------------------------------------
+
+    def add(self, *constraints: Term) -> None:
+        """Assert one or more boolean terms."""
+        for constraint in constraints:
+            if not isinstance(constraint, Term) or not constraint.is_bool():
+                raise SolverError(f"only boolean terms can be asserted, got {constraint!r}")
+            self._assertions.append(constraint)
+
+    def assertions(self) -> List[Term]:
+        return list(self._assertions)
+
+    def push(self) -> None:
+        """Open a new assertion scope."""
+        self._scopes.append(len(self._assertions))
+
+    def pop(self) -> None:
+        """Discard all assertions added since the matching ``push``."""
+        if not self._scopes:
+            raise SolverError("pop() without a matching push()")
+        boundary = self._scopes.pop()
+        del self._assertions[boundary:]
+
+    def reset(self) -> None:
+        """Drop every assertion and scope."""
+        self._assertions.clear()
+        self._scopes.clear()
+        self._model = None
+
+    # -- solving ---------------------------------------------------------------------
+
+    def check(self, *extra: Term) -> str:
+        """Decide satisfiability of the asserted constraints plus ``extra``."""
+        started = time.perf_counter()
+        self.statistics.checks += 1
+        self._model = None
+
+        goal = simplify(And(*(self._assertions + list(extra)))) if (self._assertions or extra) else TRUE
+        key = goal.to_sexpr(max_depth=10_000)
+
+        if self._enable_cache:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.statistics.cache_hits += 1
+                self._model = cached.model
+                self._count(cached.status)
+                self.statistics.total_time += time.perf_counter() - started
+                return cached.status
+
+        status, model = self._decide(goal)
+        self._model = model
+        if self._enable_cache:
+            self._cache[key] = _CachedAnswer(status, model)
+        self._count(status)
+        self.statistics.total_time += time.perf_counter() - started
+        return status
+
+    def is_satisfiable(self, *extra: Term) -> bool:
+        """Convenience: True iff ``check`` returns SAT."""
+        return self.check(*extra) == CheckResult.SAT
+
+    def is_unsatisfiable(self, *extra: Term) -> bool:
+        """Convenience: True iff ``check`` returns UNSAT."""
+        return self.check(*extra) == CheckResult.UNSAT
+
+    def model(self) -> Model:
+        """Model of the last satisfiable ``check``."""
+        if self._model is None:
+            raise SolverError("model() is only available after a satisfiable check()")
+        return self._model
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _count(self, status: str) -> None:
+        if status == CheckResult.SAT:
+            self.statistics.sat += 1
+        elif status == CheckResult.UNSAT:
+            self.statistics.unsat += 1
+        else:
+            self.statistics.unknown += 1
+
+    def _decide(self, goal: Term) -> tuple[str, Optional[Model]]:
+        if goal.is_true():
+            return CheckResult.SAT, Model({})
+        if goal.is_false():
+            return CheckResult.UNSAT, None
+
+        quick = quick_check(goal)
+        if quick.status == QuickCheckResult.UNSAT:
+            self.statistics.quick_check_hits += 1
+            return CheckResult.UNSAT, None
+        if quick.status == QuickCheckResult.SAT:
+            self.statistics.quick_check_hits += 1
+            return CheckResult.SAT, Model(quick.model)
+
+        blaster = BitBlaster()
+        blaster.assert_term(goal)
+        sat_solver = SATSolver(blaster.cnf.num_vars)
+        for clause in blaster.cnf.clauses:
+            if not sat_solver.add_clause(clause):
+                return CheckResult.UNSAT, None
+        outcome = sat_solver.solve(max_conflicts=self._max_conflicts)
+        self.statistics.sat_conflicts += sat_solver.conflicts
+        self.statistics.sat_decisions += sat_solver.decisions
+        if outcome == SatResult.UNSAT:
+            return CheckResult.UNSAT, None
+        if outcome == SatResult.UNKNOWN:
+            return CheckResult.UNKNOWN, None
+        model = model_from_bits(
+            blaster.variable_bits(), blaster.boolean_variables(), sat_solver.model()
+        )
+        return CheckResult.SAT, model
+
+
+def check_formula(formula: Term, max_conflicts: Optional[int] = 200_000) -> tuple[str, Optional[Model]]:
+    """One-shot satisfiability check of a single boolean term."""
+    solver = Solver(max_conflicts=max_conflicts, enable_cache=False)
+    solver.add(formula)
+    status = solver.check()
+    model = solver.model() if status == CheckResult.SAT else None
+    return status, model

@@ -1,0 +1,82 @@
+"""Sorts (types) for the QF_BV term language.
+
+Two sorts exist: the boolean sort and fixed-width bitvector sorts.  Sorts
+are value objects: two ``BitVecSort`` instances with the same width compare
+equal and hash identically, so they can be used as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from .errors import InvalidTermError
+
+
+class Sort:
+    """Base class for sorts.  Not instantiated directly."""
+
+    __slots__ = ()
+
+    def is_bool(self) -> bool:
+        return isinstance(self, BoolSort)
+
+    def is_bitvec(self) -> bool:
+        return isinstance(self, BitVecSort)
+
+
+class BoolSort(Sort):
+    """The sort of boolean terms."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Bool"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolSort)
+
+    def __hash__(self) -> int:
+        return hash("BoolSort")
+
+
+class BitVecSort(Sort):
+    """The sort of bitvectors of a fixed positive width."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int) -> None:
+        if not isinstance(width, int) or width <= 0:
+            raise InvalidTermError(f"bitvector width must be a positive int, got {width!r}")
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"BitVec({self.width})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BitVecSort) and other.width == self.width
+
+    def __hash__(self) -> int:
+        return hash(("BitVecSort", self.width))
+
+    @property
+    def mask(self) -> int:
+        """Bit mask covering every bit of this sort (``2**width - 1``)."""
+        return (1 << self.width) - 1
+
+    @property
+    def modulus(self) -> int:
+        """Number of distinct values of this sort (``2**width``)."""
+        return 1 << self.width
+
+
+#: Singleton boolean sort, shared by all boolean terms.
+BOOL = BoolSort()
+
+
+def bitvec(width: int) -> BitVecSort:
+    """Return the bitvector sort of the given width (cached for small widths)."""
+    cached = _SMALL_SORTS.get(width)
+    if cached is not None:
+        return cached
+    return BitVecSort(width)
+
+
+_SMALL_SORTS = {w: BitVecSort(w) for w in (1, 2, 4, 8, 16, 24, 32, 48, 64, 128)}

@@ -1,0 +1,489 @@
+"""Term language for the QF_BV (quantifier-free bitvector) theory.
+
+Terms are immutable DAG nodes.  Each node carries an operator tag
+(:class:`Op`), a tuple of child terms, a sort, and — for leaves — a
+constant value or a variable name.  Construction performs sort checking
+but no simplification; rewriting lives in :mod:`repro.smt.simplify`.
+
+The module also gives bitvector terms the usual Python operator
+overloads (``a + b``, ``a & b``, ``a == b`` builds an *equation term*,
+etc.), which is the style the rest of the code base uses to state
+constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from .errors import InvalidTermError, SortMismatchError
+from .sorts import BOOL, BitVecSort, Sort, bitvec
+
+
+class Op:
+    """Operator tags for term nodes."""
+
+    # Leaves.
+    BV_CONST = "bv-const"
+    BV_VAR = "bv-var"
+    BOOL_CONST = "bool-const"
+    BOOL_VAR = "bool-var"
+
+    # Bitvector arithmetic / bitwise operators (all same-width binary unless noted).
+    BV_ADD = "bvadd"
+    BV_SUB = "bvsub"
+    BV_MUL = "bvmul"
+    BV_UDIV = "bvudiv"
+    BV_UREM = "bvurem"
+    BV_NEG = "bvneg"          # unary
+    BV_AND = "bvand"
+    BV_OR = "bvor"
+    BV_XOR = "bvxor"
+    BV_NOT = "bvnot"          # unary
+    BV_SHL = "bvshl"
+    BV_LSHR = "bvlshr"
+    BV_ASHR = "bvashr"
+
+    # Structural bitvector operators.
+    BV_CONCAT = "concat"      # args are MSB-first
+    BV_EXTRACT = "extract"    # params = (hi, lo), inclusive
+    BV_ZEXT = "zero-extend"   # params = (extra_bits,)
+    BV_SEXT = "sign-extend"   # params = (extra_bits,)
+    BV_ITE = "bv-ite"         # args = (cond: Bool, then: BV, else: BV)
+
+    # Predicates over bitvectors (produce booleans).
+    EQ = "="
+    DISTINCT = "distinct"
+    ULT = "bvult"
+    ULE = "bvule"
+    SLT = "bvslt"
+    SLE = "bvsle"
+
+    # Boolean connectives.
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    IMPLIES = "=>"
+    IFF = "<=>"
+    BOOL_ITE = "bool-ite"
+
+    #: Operators whose result sort is boolean.
+    BOOL_RESULT = frozenset(
+        {
+            BOOL_CONST,
+            BOOL_VAR,
+            EQ,
+            DISTINCT,
+            ULT,
+            ULE,
+            SLT,
+            SLE,
+            NOT,
+            AND,
+            OR,
+            XOR,
+            IMPLIES,
+            IFF,
+            BOOL_ITE,
+        }
+    )
+
+    #: Commutative operators (used by the simplifier for canonical ordering).
+    COMMUTATIVE = frozenset({BV_ADD, BV_MUL, BV_AND, BV_OR, BV_XOR, EQ, AND, OR, XOR, IFF})
+
+
+class Term:
+    """An immutable node in the term DAG.
+
+    Attributes:
+        op: operator tag from :class:`Op`.
+        args: child terms.
+        sort: the term's sort.
+        value: constant value for ``BV_CONST`` / ``BOOL_CONST`` leaves.
+        name: variable name for ``BV_VAR`` / ``BOOL_VAR`` leaves.
+        params: static parameters (extract bounds, extension widths).
+    """
+
+    __slots__ = ("op", "args", "sort", "value", "name", "params", "_hash")
+
+    def __init__(
+        self,
+        op: str,
+        args: Sequence["Term"] = (),
+        sort: Optional[Sort] = None,
+        value: Optional[Union[int, bool]] = None,
+        name: Optional[str] = None,
+        params: Sequence[int] = (),
+    ) -> None:
+        self.op = op
+        self.args = tuple(args)
+        self.sort = sort if sort is not None else BOOL
+        self.value = value
+        self.name = name
+        self.params = tuple(params)
+        self._hash = hash((self.op, self.args, self.sort, self.value, self.name, self.params))
+
+    # -- identity -----------------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality for boolean terms; equation construction for bitvectors.
+
+        Using ``==`` between two bitvector terms builds an :data:`Op.EQ`
+        predicate (mirroring the z3 API the code base is written against).
+        Boolean terms and non-term comparisons fall back to structural
+        equality so terms remain usable in sets and dicts.
+        """
+        if isinstance(other, int) and self.sort.is_bitvec():
+            return mk_eq(self, mk_bv_const(other, self.sort.width))  # type: ignore[return-value]
+        if isinstance(other, Term) and self.sort.is_bitvec() and other.sort.is_bitvec():
+            return mk_eq(self, other)  # type: ignore[return-value]
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.structurally_equal(other)
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, int) and self.sort.is_bitvec():
+            return mk_not(mk_eq(self, mk_bv_const(other, self.sort.width)))  # type: ignore[return-value]
+        if isinstance(other, Term) and self.sort.is_bitvec() and other.sort.is_bitvec():
+            return mk_not(mk_eq(self, other))  # type: ignore[return-value]
+        if not isinstance(other, Term):
+            return NotImplemented
+        return not self.structurally_equal(other)
+
+    def structurally_equal(self, other: "Term") -> bool:
+        """True if ``self`` and ``other`` are the same term structurally."""
+        if self is other:
+            return True
+        return (
+            self._hash == other._hash
+            and self.op == other.op
+            and self.sort == other.sort
+            and self.value == other.value
+            and self.name == other.name
+            and self.params == other.params
+            and len(self.args) == len(other.args)
+            and all(a.structurally_equal(b) for a, b in zip(self.args, other.args))
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Width of a bitvector term; raises for boolean terms."""
+        if not isinstance(self.sort, BitVecSort):
+            raise SortMismatchError(f"term {self!r} is not a bitvector")
+        return self.sort.width
+
+    def is_const(self) -> bool:
+        return self.op in (Op.BV_CONST, Op.BOOL_CONST)
+
+    def is_var(self) -> bool:
+        return self.op in (Op.BV_VAR, Op.BOOL_VAR)
+
+    def is_bool(self) -> bool:
+        return self.sort.is_bool()
+
+    def is_bitvec(self) -> bool:
+        return self.sort.is_bitvec()
+
+    def is_true(self) -> bool:
+        return self.op == Op.BOOL_CONST and self.value is True
+
+    def is_false(self) -> bool:
+        return self.op == Op.BOOL_CONST and self.value is False
+
+    def children(self) -> Iterator["Term"]:
+        return iter(self.args)
+
+    def free_variables(self) -> "dict[str, Term]":
+        """Return a mapping from variable name to variable term for all leaves."""
+        found: dict[str, Term] = {}
+        stack = [self]
+        seen: set[int] = set()
+        while stack:
+            term = stack.pop()
+            key = id(term)
+            if key in seen:
+                continue
+            seen.add(key)
+            if term.is_var():
+                assert term.name is not None
+                found.setdefault(term.name, term)
+            else:
+                stack.extend(term.args)
+        return found
+
+    def size(self) -> int:
+        """Number of distinct nodes in the term DAG (a proxy for term complexity)."""
+        count = 0
+        stack = [self]
+        seen: set[int] = set()
+        while stack:
+            term = stack.pop()
+            if id(term) in seen:
+                continue
+            seen.add(id(term))
+            count += 1
+            stack.extend(term.args)
+        return count
+
+    # -- printing -----------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return self.to_sexpr(max_depth=6)
+
+    def to_sexpr(self, max_depth: int = 32) -> str:
+        """Render the term as an SMT-LIB-flavoured s-expression string."""
+        if self.op == Op.BV_CONST:
+            return f"#x{self.value:0{(self.width + 3) // 4}x}"
+        if self.op == Op.BOOL_CONST:
+            return "true" if self.value else "false"
+        if self.is_var():
+            return str(self.name)
+        if max_depth <= 0:
+            return "(...)"
+        head = self.op
+        if self.op == Op.BV_EXTRACT:
+            head = f"(_ extract {self.params[0]} {self.params[1]})"
+        elif self.op in (Op.BV_ZEXT, Op.BV_SEXT):
+            head = f"(_ {self.op} {self.params[0]})"
+        parts = " ".join(arg.to_sexpr(max_depth - 1) for arg in self.args)
+        return f"({head} {parts})"
+
+    # -- operator overloads (bitvector sugar) ---------------------------------------
+
+    def _coerce(self, other: Union["Term", int]) -> "Term":
+        if isinstance(other, Term):
+            return other
+        if isinstance(other, int):
+            return mk_bv_const(other, self.width)
+        raise SortMismatchError(f"cannot combine bitvector term with {other!r}")
+
+    def __add__(self, other: Union["Term", int]) -> "Term":
+        return mk_bv_binop(Op.BV_ADD, self, self._coerce(other))
+
+    def __radd__(self, other: int) -> "Term":
+        return mk_bv_binop(Op.BV_ADD, self._coerce(other), self)
+
+    def __sub__(self, other: Union["Term", int]) -> "Term":
+        return mk_bv_binop(Op.BV_SUB, self, self._coerce(other))
+
+    def __rsub__(self, other: int) -> "Term":
+        return mk_bv_binop(Op.BV_SUB, self._coerce(other), self)
+
+    def __mul__(self, other: Union["Term", int]) -> "Term":
+        return mk_bv_binop(Op.BV_MUL, self, self._coerce(other))
+
+    def __rmul__(self, other: int) -> "Term":
+        return mk_bv_binop(Op.BV_MUL, self._coerce(other), self)
+
+    def __and__(self, other: Union["Term", int]) -> "Term":
+        return mk_bv_binop(Op.BV_AND, self, self._coerce(other))
+
+    def __rand__(self, other: int) -> "Term":
+        return mk_bv_binop(Op.BV_AND, self._coerce(other), self)
+
+    def __or__(self, other: Union["Term", int]) -> "Term":
+        return mk_bv_binop(Op.BV_OR, self, self._coerce(other))
+
+    def __ror__(self, other: int) -> "Term":
+        return mk_bv_binop(Op.BV_OR, self._coerce(other), self)
+
+    def __xor__(self, other: Union["Term", int]) -> "Term":
+        return mk_bv_binop(Op.BV_XOR, self, self._coerce(other))
+
+    def __rxor__(self, other: int) -> "Term":
+        return mk_bv_binop(Op.BV_XOR, self._coerce(other), self)
+
+    def __lshift__(self, other: Union["Term", int]) -> "Term":
+        return mk_bv_binop(Op.BV_SHL, self, self._coerce(other))
+
+    def __rshift__(self, other: Union["Term", int]) -> "Term":
+        return mk_bv_binop(Op.BV_LSHR, self, self._coerce(other))
+
+    def __invert__(self) -> "Term":
+        return mk_bv_unop(Op.BV_NOT, self)
+
+    def __neg__(self) -> "Term":
+        return mk_bv_unop(Op.BV_NEG, self)
+
+    # Unsigned comparisons (matching the dataplane's predominantly unsigned fields).
+    def __lt__(self, other: Union["Term", int]) -> "Term":
+        return mk_cmp(Op.ULT, self, self._coerce(other))
+
+    def __le__(self, other: Union["Term", int]) -> "Term":
+        return mk_cmp(Op.ULE, self, self._coerce(other))
+
+    def __gt__(self, other: Union["Term", int]) -> "Term":
+        return mk_cmp(Op.ULT, self._coerce(other), self)
+
+    def __ge__(self, other: Union["Term", int]) -> "Term":
+        return mk_cmp(Op.ULE, self._coerce(other), self)
+
+
+# -- constructors -------------------------------------------------------------------
+
+
+def mk_bv_const(value: int, width: int) -> Term:
+    """Build a bitvector constant, reducing ``value`` modulo ``2**width``."""
+    if not isinstance(value, int):
+        raise InvalidTermError(f"bitvector constant must be an int, got {value!r}")
+    sort = bitvec(width)
+    return Term(Op.BV_CONST, (), sort, value=value & sort.mask)
+
+
+def mk_bv_var(name: str, width: int) -> Term:
+    if not name:
+        raise InvalidTermError("bitvector variable needs a non-empty name")
+    return Term(Op.BV_VAR, (), bitvec(width), name=name)
+
+
+def mk_bool_const(value: bool) -> Term:
+    return TRUE if value else FALSE
+
+
+def mk_bool_var(name: str) -> Term:
+    if not name:
+        raise InvalidTermError("boolean variable needs a non-empty name")
+    return Term(Op.BOOL_VAR, (), BOOL, name=name)
+
+
+def _require_bv(term: Term, what: str) -> None:
+    if not term.is_bitvec():
+        raise SortMismatchError(f"{what} expects a bitvector, got {term!r}")
+
+
+def _require_bool(term: Term, what: str) -> None:
+    if not term.is_bool():
+        raise SortMismatchError(f"{what} expects a boolean, got {term!r}")
+
+
+def _require_same_width(a: Term, b: Term, what: str) -> None:
+    _require_bv(a, what)
+    _require_bv(b, what)
+    if a.width != b.width:
+        raise SortMismatchError(f"{what} widths differ: {a.width} vs {b.width}")
+
+
+def mk_bv_binop(op: str, a: Term, b: Term) -> Term:
+    _require_same_width(a, b, op)
+    return Term(op, (a, b), a.sort)
+
+
+def mk_bv_unop(op: str, a: Term) -> Term:
+    _require_bv(a, op)
+    return Term(op, (a,), a.sort)
+
+
+def mk_cmp(op: str, a: Term, b: Term) -> Term:
+    _require_same_width(a, b, op)
+    return Term(op, (a, b), BOOL)
+
+
+def mk_eq(a: Term, b: Term) -> Term:
+    if a.is_bool() and b.is_bool():
+        return Term(Op.IFF, (a, b), BOOL)
+    _require_same_width(a, b, "=")
+    return Term(Op.EQ, (a, b), BOOL)
+
+
+def mk_not(a: Term) -> Term:
+    _require_bool(a, "not")
+    return Term(Op.NOT, (a,), BOOL)
+
+
+def _flatten(op: str, terms: Iterable[Term]) -> list[Term]:
+    flat: list[Term] = []
+    for term in terms:
+        _require_bool(term, op)
+        if term.op == op:
+            flat.extend(term.args)
+        else:
+            flat.append(term)
+    return flat
+
+
+def mk_and(*terms: Term) -> Term:
+    flat = _flatten(Op.AND, terms)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return Term(Op.AND, flat, BOOL)
+
+
+def mk_or(*terms: Term) -> Term:
+    flat = _flatten(Op.OR, terms)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Term(Op.OR, flat, BOOL)
+
+
+def mk_xor(a: Term, b: Term) -> Term:
+    _require_bool(a, "xor")
+    _require_bool(b, "xor")
+    return Term(Op.XOR, (a, b), BOOL)
+
+
+def mk_implies(a: Term, b: Term) -> Term:
+    _require_bool(a, "=>")
+    _require_bool(b, "=>")
+    return Term(Op.IMPLIES, (a, b), BOOL)
+
+
+def mk_ite(cond: Term, then: Term, other: Term) -> Term:
+    _require_bool(cond, "ite condition")
+    if then.is_bool() and other.is_bool():
+        return Term(Op.BOOL_ITE, (cond, then, other), BOOL)
+    _require_same_width(then, other, "ite")
+    return Term(Op.BV_ITE, (cond, then, other), then.sort)
+
+
+def mk_concat(*terms: Term) -> Term:
+    """Concatenate bitvectors, most-significant operand first."""
+    if not terms:
+        raise InvalidTermError("concat needs at least one operand")
+    for term in terms:
+        _require_bv(term, "concat")
+    if len(terms) == 1:
+        return terms[0]
+    total = sum(term.width for term in terms)
+    return Term(Op.BV_CONCAT, terms, bitvec(total))
+
+
+def mk_extract(term: Term, hi: int, lo: int) -> Term:
+    """Extract bits ``hi`` down to ``lo`` (inclusive, LSB is bit 0)."""
+    _require_bv(term, "extract")
+    if not (0 <= lo <= hi < term.width):
+        raise InvalidTermError(
+            f"extract bounds [{hi}:{lo}] out of range for width {term.width}"
+        )
+    return Term(Op.BV_EXTRACT, (term,), bitvec(hi - lo + 1), params=(hi, lo))
+
+
+def mk_zero_extend(term: Term, extra: int) -> Term:
+    _require_bv(term, "zero-extend")
+    if extra < 0:
+        raise InvalidTermError("zero-extend amount must be non-negative")
+    if extra == 0:
+        return term
+    return Term(Op.BV_ZEXT, (term,), bitvec(term.width + extra), params=(extra,))
+
+
+def mk_sign_extend(term: Term, extra: int) -> Term:
+    _require_bv(term, "sign-extend")
+    if extra < 0:
+        raise InvalidTermError("sign-extend amount must be non-negative")
+    if extra == 0:
+        return term
+    return Term(Op.BV_SEXT, (term,), bitvec(term.width + extra), params=(extra,))
+
+
+#: Shared boolean constants.
+TRUE = Term(Op.BOOL_CONST, (), BOOL, value=True)
+FALSE = Term(Op.BOOL_CONST, (), BOOL, value=False)

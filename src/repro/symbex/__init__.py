@@ -1,0 +1,43 @@
+"""``repro.symbex`` — symbolic execution of element IR programs.
+
+The engine enumerates all feasible paths of an element under a fully
+symbolic input packet and produces :class:`SegmentSummary` records — the
+path constraint and symbolic state transformation the verifier's Step 2
+composes (see :mod:`repro.verify`).
+"""
+
+from .engine import StaticTableMode, SymbexOptions, SymbolicEngine
+from .errors import PathExplosionError, SymbexError, UnsupportedProgramError
+from .loops import LoopSummary, summarize_loop
+from .segment import ElementSummary, SegmentOutcome, SegmentSummary, summarize_path
+from .state import (
+    HAVOC_PREFIX,
+    INPUT_BYTE_PREFIX,
+    INPUT_META_PREFIX,
+    HavocRead,
+    PathState,
+    SymbolicPacket,
+    TableWriteRecord,
+)
+
+__all__ = [
+    "ElementSummary",
+    "HAVOC_PREFIX",
+    "HavocRead",
+    "INPUT_BYTE_PREFIX",
+    "INPUT_META_PREFIX",
+    "LoopSummary",
+    "PathExplosionError",
+    "PathState",
+    "SegmentOutcome",
+    "SegmentSummary",
+    "StaticTableMode",
+    "SymbexError",
+    "SymbexOptions",
+    "SymbolicEngine",
+    "SymbolicPacket",
+    "TableWriteRecord",
+    "UnsupportedProgramError",
+    "summarize_loop",
+    "summarize_path",
+]

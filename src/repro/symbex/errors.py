@@ -1,0 +1,20 @@
+"""Exception types for the symbolic execution engine."""
+
+from __future__ import annotations
+
+
+class SymbexError(Exception):
+    """Base class for symbolic execution errors."""
+
+
+class PathExplosionError(SymbexError):
+    """Raised when path exploration exceeds its configured budget.
+
+    This is the failure mode the paper attributes to whole-pipeline
+    symbolic execution; the decomposed verifier catches it for the
+    monolithic baseline and reports "did not complete within budget".
+    """
+
+
+class UnsupportedProgramError(SymbexError):
+    """Raised when a program uses a construct the engine cannot analyse."""

@@ -1,0 +1,159 @@
+"""Segment summaries: the distilled "essence" of one path through one element.
+
+Step 1 of the verification approach symbolically executes each element in
+isolation and keeps, for every feasible segment, its path constraint C and
+its symbolic state transformation S (§3 "Pipeline Decomposition").  Those
+are exactly the fields of :class:`SegmentSummary`; Step 2 composes them
+without ever re-executing the element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import smt
+from ..smt import Term
+from .state import HavocRead, PathState, TableWriteRecord
+
+
+class SegmentOutcome:
+    """How a segment ends (mirrors the concrete interpreter's outcomes)."""
+
+    EMIT = "emit"
+    DROP = "drop"
+    CRASH = "crash"
+
+
+@dataclass
+class SegmentSummary:
+    """The reusable summary of one feasible segment of one element.
+
+    Attributes:
+        element_name: the element whose program produced this segment.
+        index: position of the segment in the element's segment list.
+        outcome: emit / drop / crash.
+        port: output port for emit segments.
+        constraint: path constraint C over the element's symbolic input
+            (packet bytes ``in_b*``, metadata ``in_meta_*``, and havoc'd
+            table-read variables).
+        output_bytes: for emit segments, the symbolic bytes handed to the
+            next element (the state transformation S applied to the packet).
+        output_metadata: the metadata annotations after the segment.
+        instructions: concrete number of IR instructions executed along the
+            segment (the latency proxy).
+        havoc_reads / table_writes: the mutable-state interactions, used by
+            the data-structure (bad-value) analysis.
+        crash_message / drop_reason: diagnostics for reports.
+    """
+
+    element_name: str
+    index: int
+    outcome: str
+    constraint: Term
+    port: Optional[int] = None
+    output_bytes: Tuple[Term, ...] = ()
+    output_metadata: Dict[str, Term] = field(default_factory=dict)
+    metadata_reads: Dict[str, Term] = field(default_factory=dict)
+    instructions: int = 0
+    havoc_reads: Tuple[HavocRead, ...] = ()
+    table_writes: Tuple[TableWriteRecord, ...] = ()
+    crash_message: str = ""
+    drop_reason: str = ""
+
+    @property
+    def crashes(self) -> bool:
+        return self.outcome == SegmentOutcome.CRASH
+
+    @property
+    def drops(self) -> bool:
+        return self.outcome == SegmentOutcome.DROP
+
+    @property
+    def emits(self) -> bool:
+        return self.outcome == SegmentOutcome.EMIT
+
+    def free_variable_names(self) -> List[str]:
+        names = set(self.constraint.free_variables())
+        for term in self.output_bytes:
+            names.update(term.free_variables())
+        for term in self.output_metadata.values():
+            names.update(term.free_variables())
+        return sorted(names)
+
+    def __repr__(self) -> str:
+        detail = {
+            SegmentOutcome.EMIT: f"port={self.port}",
+            SegmentOutcome.DROP: f"reason={self.drop_reason!r}",
+            SegmentOutcome.CRASH: f"message={self.crash_message!r}",
+        }[self.outcome]
+        return (
+            f"SegmentSummary({self.element_name}#{self.index}, {self.outcome}, {detail}, "
+            f"instructions={self.instructions})"
+        )
+
+
+def summarize_path(element_name: str, index: int, state: PathState) -> SegmentSummary:
+    """Turn a terminated :class:`PathState` into a :class:`SegmentSummary`."""
+    if not state.terminated or state.outcome is None:
+        raise ValueError("cannot summarise a path that has not terminated")
+    output_bytes: Tuple[Term, ...] = ()
+    if state.outcome == SegmentOutcome.EMIT:
+        output_bytes = tuple(smt.simplify(term) for term in state.packet.bytes)
+    return SegmentSummary(
+        element_name=element_name,
+        index=index,
+        outcome=state.outcome,
+        constraint=state.path_constraint(),
+        port=state.port,
+        output_bytes=output_bytes,
+        output_metadata={key: smt.simplify(value) for key, value in state.metadata.items()},
+        metadata_reads=dict(state.metadata_reads),
+        instructions=state.instructions,
+        havoc_reads=tuple(state.havoc_reads),
+        table_writes=tuple(state.table_writes),
+        crash_message=state.crash_message,
+        drop_reason=state.drop_reason,
+    )
+
+
+@dataclass
+class ElementSummary:
+    """All feasible segments of one element for one input-packet length."""
+
+    element_name: str
+    configuration_key: str
+    input_length: int
+    segments: List[SegmentSummary] = field(default_factory=list)
+    paths_explored: int = 0
+    solver_checks: int = 0
+    elapsed_seconds: float = 0.0
+
+    def segments_with_outcome(self, outcome: str) -> List[SegmentSummary]:
+        return [segment for segment in self.segments if segment.outcome == outcome]
+
+    @property
+    def crash_segments(self) -> List[SegmentSummary]:
+        return self.segments_with_outcome(SegmentOutcome.CRASH)
+
+    @property
+    def emit_segments(self) -> List[SegmentSummary]:
+        return self.segments_with_outcome(SegmentOutcome.EMIT)
+
+    @property
+    def drop_segments(self) -> List[SegmentSummary]:
+        return self.segments_with_outcome(SegmentOutcome.DROP)
+
+    @property
+    def max_instructions(self) -> int:
+        return max((segment.instructions for segment in self.segments), default=0)
+
+    def emit_segments_for_port(self, port: int) -> List[SegmentSummary]:
+        return [segment for segment in self.emit_segments if segment.port == port]
+
+    def __repr__(self) -> str:
+        return (
+            f"ElementSummary({self.element_name}, length={self.input_length}, "
+            f"{len(self.segments)} segments: {len(self.emit_segments)} emit / "
+            f"{len(self.drop_segments)} drop / {len(self.crash_segments)} crash)"
+        )

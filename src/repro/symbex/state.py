@@ -1,0 +1,143 @@
+"""Symbolic packets and per-path execution state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import smt
+from ..smt import Term
+
+#: Canonical prefix of the symbolic input-packet byte variables: ``in_b0``, ``in_b1``, ...
+INPUT_BYTE_PREFIX = "in_b"
+#: Canonical prefix of symbolic input-metadata variables: ``in_meta_<key>``.
+INPUT_META_PREFIX = "in_meta_"
+#: Canonical prefix of havoc'd table-read variables.
+HAVOC_PREFIX = "havoc"
+
+
+class SymbolicPacket:
+    """A packet whose content is symbolic: one 8-bit term per byte.
+
+    The length is concrete (verification runs are per input length, as
+    discussed in DESIGN.md); the *content* is entirely unconstrained,
+    which is the paper's "the input is a symbolic bit vector".
+    """
+
+    def __init__(self, byte_terms: List[Term]) -> None:
+        self.bytes: List[Term] = list(byte_terms)
+
+    @classmethod
+    def fresh(cls, length: int, prefix: str = INPUT_BYTE_PREFIX) -> "SymbolicPacket":
+        """A packet of ``length`` fully symbolic bytes named ``<prefix><i>``."""
+        return cls([smt.BitVec(f"{prefix}{i}", 8) for i in range(length)])
+
+    @classmethod
+    def concrete(cls, data: bytes) -> "SymbolicPacket":
+        """A packet with fully concrete content (used for replay/tests)."""
+        return cls([smt.BitVecVal(b, 8) for b in data])
+
+    def __len__(self) -> int:
+        return len(self.bytes)
+
+    def copy(self) -> "SymbolicPacket":
+        return SymbolicPacket(list(self.bytes))
+
+    def load(self, offset: int, nbytes: int) -> Term:
+        """Big-endian read of ``nbytes`` at a concrete ``offset``, zero-extended to 64 bits."""
+        chunks = self.bytes[offset : offset + nbytes]
+        value = smt.Concat(*chunks) if len(chunks) > 1 else chunks[0]
+        return smt.ZeroExt(64 - 8 * nbytes, value)
+
+    def store(self, offset: int, nbytes: int, value: Term) -> None:
+        """Big-endian write of the low ``nbytes`` of a 64-bit ``value`` at a concrete offset."""
+        for index in range(nbytes):
+            shift = 8 * (nbytes - 1 - index)
+            self.bytes[offset + index] = smt.Extract(shift + 7, shift, value)
+
+    def select(self, offset_term: Term, length_guard: int) -> Term:
+        """Read one byte at a *symbolic* offset as an if-then-else over positions."""
+        result = smt.BitVecVal(0, 8)
+        for index in range(min(len(self.bytes), length_guard)):
+            result = smt.If(
+                smt.Eq(offset_term, smt.BitVecVal(index, 64)), self.bytes[index], result
+            )
+        return result
+
+
+@dataclass(frozen=True)
+class HavocRead:
+    """Record of one havoc'd table read (the key/value-store model of §3).
+
+    ``value_var`` / ``found_var`` are the names of the fresh symbolic
+    variables introduced for the read; the bad-value analysis later asks
+    whether the values that make a path violate the property could ever
+    have been written.
+    """
+
+    table: str
+    key: Term
+    value_var: str
+    found_var: str
+
+
+@dataclass(frozen=True)
+class TableWriteRecord:
+    """Record of a table write performed along a path."""
+
+    table: str
+    key: Term
+    value: Term
+
+
+@dataclass
+class PathState:
+    """The symbolic state of one execution path through an element program."""
+
+    packet: SymbolicPacket
+    constraints: List[Term] = field(default_factory=list)
+    registers: Dict[str, Term] = field(default_factory=dict)
+    metadata: Dict[str, Term] = field(default_factory=dict)
+    metadata_reads: Dict[str, Term] = field(default_factory=dict)
+    havoc_reads: List[HavocRead] = field(default_factory=list)
+    table_writes: List[TableWriteRecord] = field(default_factory=list)
+    instructions: int = 0
+    terminated: bool = False
+    outcome: Optional[str] = None
+    port: Optional[int] = None
+    crash_message: str = ""
+    drop_reason: str = ""
+
+    def fork(self) -> "PathState":
+        """An independent copy of this state (for branch exploration)."""
+        return PathState(
+            packet=self.packet.copy(),
+            constraints=list(self.constraints),
+            registers=dict(self.registers),
+            metadata=dict(self.metadata),
+            metadata_reads=dict(self.metadata_reads),
+            havoc_reads=list(self.havoc_reads),
+            table_writes=list(self.table_writes),
+            instructions=self.instructions,
+            terminated=self.terminated,
+            outcome=self.outcome,
+            port=self.port,
+            crash_message=self.crash_message,
+            drop_reason=self.drop_reason,
+        )
+
+    def add_constraint(self, constraint: Term) -> None:
+        self.constraints.append(constraint)
+
+    def path_constraint(self) -> Term:
+        return smt.simplify(smt.conjoin(self.constraints)) if self.constraints else smt.TRUE
+
+    def count(self, amount: int) -> None:
+        self.instructions += amount
+
+    def terminate(self, outcome: str, **details) -> None:
+        self.terminated = True
+        self.outcome = outcome
+        self.port = details.get("port")
+        self.crash_message = details.get("crash_message", "")
+        self.drop_reason = details.get("drop_reason", "")

@@ -1,0 +1,57 @@
+"""``repro.verify`` — the paper's contribution: decomposed dataplane verification.
+
+Typical usage::
+
+    from repro.verify import PipelineVerifier, CrashFreedom
+
+    verifier = PipelineVerifier(pipeline)
+    result = verifier.verify(CrashFreedom(), input_lengths=[64])
+    assert result.proved
+
+    bound = verifier.instruction_bound(input_lengths=[64])
+    print(bound.bound, bound.witness_packet)
+"""
+
+from .cache import CacheStatistics, SummaryCache
+from .composition import ComposedPrefix, ComposedViolation, CompositionEngine
+from .errors import CompositionError, VerificationBudgetExceeded, VerificationError
+from .monolithic import MonolithicVerifier
+from .pipeline_verifier import PipelineVerifier, verify_crash_freedom
+from .properties import (
+    BoundedInstructions,
+    CrashFreedom,
+    Property,
+    Reachability,
+    destination_reachability,
+)
+from .report import (
+    Counterexample,
+    InstructionBoundResult,
+    VerificationResult,
+    VerificationStatistics,
+    Verdict,
+)
+
+__all__ = [
+    "BoundedInstructions",
+    "CacheStatistics",
+    "ComposedPrefix",
+    "ComposedViolation",
+    "CompositionEngine",
+    "CompositionError",
+    "Counterexample",
+    "CrashFreedom",
+    "InstructionBoundResult",
+    "MonolithicVerifier",
+    "PipelineVerifier",
+    "Property",
+    "Reachability",
+    "SummaryCache",
+    "VerificationBudgetExceeded",
+    "VerificationError",
+    "VerificationResult",
+    "VerificationStatistics",
+    "Verdict",
+    "destination_reachability",
+    "verify_crash_freedom",
+]

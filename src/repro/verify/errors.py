@@ -1,0 +1,19 @@
+"""Exception types for the verifier."""
+
+from __future__ import annotations
+
+
+class VerificationError(Exception):
+    """Base class for verifier errors."""
+
+
+class CompositionError(VerificationError):
+    """Raised when segment summaries cannot be composed (length/port mismatch)."""
+
+
+class VerificationBudgetExceeded(VerificationError):
+    """Raised when a verification run exceeds its path or time budget.
+
+    The monolithic baseline reports this as its normal failure mode — the
+    paper's "did not complete within 12 hours".
+    """

@@ -1,0 +1,126 @@
+"""Verification results: proofs, counterexamples and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Verdict:
+    """Possible outcomes of a verification run."""
+
+    PROVED = "proved"
+    VIOLATED = "violated"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Counterexample:
+    """A concrete packet (plus any required table state) violating the property."""
+
+    packet: bytes
+    element_path: List[str] = field(default_factory=list)
+    violating_element: str = ""
+    violation_kind: str = ""
+    detail: str = ""
+    required_table_values: Dict[str, int] = field(default_factory=dict)
+    metadata: Dict[str, int] = field(default_factory=dict)
+    confirmed_by_replay: Optional[bool] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Counterexample(len={len(self.packet)}, element={self.violating_element!r}, "
+            f"kind={self.violation_kind!r}, detail={self.detail!r}, "
+            f"confirmed={self.confirmed_by_replay})"
+        )
+
+
+@dataclass
+class VerificationStatistics:
+    """Work performed during one verification run."""
+
+    elements_analyzed: int = 0
+    segments_total: int = 0
+    suspect_segments: int = 0
+    composed_paths_checked: int = 0
+    composed_paths_feasible: int = 0
+    solver_checks: int = 0
+    summary_cache_hits: int = 0
+    elapsed_seconds: float = 0.0
+    per_element_segments: Dict[str, int] = field(default_factory=dict)
+    per_element_seconds: Dict[str, float] = field(default_factory=dict)
+    budget_exceeded: bool = False
+
+    def merge_element(self, name: str, segments: int, seconds: float) -> None:
+        self.elements_analyzed += 1
+        self.segments_total += segments
+        self.per_element_segments[name] = segments
+        self.per_element_seconds[name] = self.per_element_seconds.get(name, 0.0) + seconds
+
+
+@dataclass
+class VerificationResult:
+    """The outcome of verifying one property on one pipeline."""
+
+    property_name: str
+    pipeline_name: str
+    verdict: str
+    input_lengths: Tuple[int, ...] = ()
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    statistics: VerificationStatistics = field(default_factory=VerificationStatistics)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def proved(self) -> bool:
+        return self.verdict == Verdict.PROVED
+
+    @property
+    def violated(self) -> bool:
+        return self.verdict == Verdict.VIOLATED
+
+    def summary(self) -> str:
+        lines = [
+            f"property   : {self.property_name}",
+            f"pipeline   : {self.pipeline_name}",
+            f"verdict    : {self.verdict}",
+            f"lengths    : {list(self.input_lengths)}",
+            f"segments   : {self.statistics.segments_total} "
+            f"({self.statistics.suspect_segments} suspect)",
+            f"composed   : {self.statistics.composed_paths_checked} checked, "
+            f"{self.statistics.composed_paths_feasible} feasible",
+            f"time       : {self.statistics.elapsed_seconds:.2f}s",
+        ]
+        for counterexample in self.counterexamples[:5]:
+            lines.append(f"counterexample: {counterexample!r}")
+        for note in self.notes:
+            lines.append(f"note       : {note}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"VerificationResult({self.property_name!r}, {self.pipeline_name!r}, "
+            f"{self.verdict}, {len(self.counterexamples)} counterexamples)"
+        )
+
+
+@dataclass
+class InstructionBoundResult:
+    """Result of the bounded-instructions analysis."""
+
+    pipeline_name: str
+    input_lengths: Tuple[int, ...]
+    bound: int
+    witness_packet: Optional[bytes] = None
+    witness_instructions: Optional[int] = None
+    witness_confirmed: Optional[bool] = None
+    per_path_bounds: List[Tuple[str, int]] = field(default_factory=list)
+    statistics: VerificationStatistics = field(default_factory=VerificationStatistics)
+
+    def summary(self) -> str:
+        lines = [
+            f"pipeline            : {self.pipeline_name}",
+            f"instruction bound   : {self.bound}",
+            f"witness instructions: {self.witness_instructions}",
+            f"witness confirmed   : {self.witness_confirmed}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""``repro.workloads`` — packet, table and pipeline generators for tests and benchmarks."""
+
+from .packets import (
+    PacketWorkload,
+    adversarial_packets,
+    malformed_ip_packets,
+    random_ip_packets,
+    well_formed_ip_packet,
+)
+from .pipelines import (
+    ip_router_elements,
+    ip_router_pipeline,
+    nat_gateway_pipeline,
+    synthetic_branchy_element,
+    synthetic_pipeline,
+)
+from .tables import random_classifier_rules, random_routing_table
+
+__all__ = [
+    "PacketWorkload",
+    "adversarial_packets",
+    "ip_router_elements",
+    "ip_router_pipeline",
+    "malformed_ip_packets",
+    "nat_gateway_pipeline",
+    "random_classifier_rules",
+    "random_ip_packets",
+    "random_routing_table",
+    "synthetic_branchy_element",
+    "synthetic_pipeline",
+    "well_formed_ip_packet",
+]

@@ -1,0 +1,118 @@
+"""Packet workload generators.
+
+Deterministic (seeded) generators for well-formed, random and adversarial
+packets, used by the concrete-execution tests and by the benchmark
+harnesses when they replay verifier counterexamples against the dataplane.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from ..net.headers import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    build_ethernet_frame,
+    build_ipv4_packet,
+    build_udp_datagram,
+)
+
+
+def well_formed_ip_packet(
+    src: str = "10.0.0.1",
+    dst: str = "10.0.0.2",
+    ttl: int = 64,
+    payload: bytes = b"payload",
+    options: bytes = b"",
+    with_ethernet: bool = False,
+) -> bytes:
+    """A single valid IPv4/UDP packet (optionally Ethernet-framed)."""
+    datagram = build_udp_datagram(1234, 80, payload)
+    packet = build_ipv4_packet(src, dst, datagram, ttl=ttl, options=options)
+    if with_ethernet:
+        return build_ethernet_frame("00:00:00:00:00:02", "00:00:00:00:00:01", packet)
+    return packet
+
+
+def random_ip_packets(
+    count: int,
+    seed: int = 0,
+    with_ethernet: bool = False,
+    max_payload: int = 32,
+) -> List[bytes]:
+    """Well-formed packets with randomised addresses, TTLs and payload sizes."""
+    rng = random.Random(seed)
+    packets = []
+    for _ in range(count):
+        src = f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        dst = f"10.{rng.randrange(256)}.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+        packets.append(
+            well_formed_ip_packet(
+                src=src,
+                dst=dst,
+                ttl=rng.randrange(2, 255),
+                payload=bytes(rng.randrange(256) for _ in range(rng.randrange(max_payload))),
+                with_ethernet=with_ethernet,
+            )
+        )
+    return packets
+
+
+def malformed_ip_packets(count: int, seed: int = 1, with_ethernet: bool = False) -> List[bytes]:
+    """Packets with deliberately broken headers (bad version, IHL, lengths, checksums)."""
+    rng = random.Random(seed)
+    packets: List[bytes] = []
+    for index in range(count):
+        base = bytearray(well_formed_ip_packet(with_ethernet=with_ethernet))
+        offset = 14 if with_ethernet else 0
+        kind = index % 5
+        if kind == 0:
+            base[offset] = (rng.randrange(0, 16) << 4) | (base[offset] & 0x0F)  # version
+        elif kind == 1:
+            base[offset] = (base[offset] & 0xF0) | rng.randrange(0, 5)  # IHL < 5
+        elif kind == 2:
+            base[offset + 2 : offset + 4] = rng.randrange(0, 20).to_bytes(2, "big")  # total len
+        elif kind == 3:
+            base[offset + 10 : offset + 12] = rng.randrange(1 << 16).to_bytes(2, "big")  # checksum
+        else:
+            base = base[: offset + rng.randrange(0, 20)]  # truncated
+        packets.append(bytes(base))
+    return packets
+
+
+def adversarial_packets(count: int, seed: int = 2, length: int = 64) -> List[bytes]:
+    """Uniformly random byte blobs (fuzz-style input)."""
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(length)) for _ in range(count)]
+
+
+@dataclass
+class PacketWorkload:
+    """A mixed workload: a reproducible stream of valid, malformed and random packets."""
+
+    valid: int = 100
+    malformed: int = 20
+    random_blobs: int = 20
+    seed: int = 0
+    with_ethernet: bool = False
+    _packets: List[bytes] = field(default_factory=list, repr=False)
+
+    def packets(self) -> List[bytes]:
+        if not self._packets:
+            self._packets = (
+                random_ip_packets(self.valid, seed=self.seed, with_ethernet=self.with_ethernet)
+                + malformed_ip_packets(
+                    self.malformed, seed=self.seed + 1, with_ethernet=self.with_ethernet
+                )
+                + adversarial_packets(self.random_blobs, seed=self.seed + 2)
+            )
+            random.Random(self.seed + 3).shuffle(self._packets)
+        return list(self._packets)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self.packets())
+
+    def __len__(self) -> int:
+        return self.valid + self.malformed + self.random_blobs

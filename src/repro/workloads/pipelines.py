@@ -1,0 +1,159 @@
+"""The pipeline catalogue used by examples, tests and benchmarks.
+
+``ip_router_pipeline`` is the reproduction of the paper's evaluation
+target: pipelines that "combine elements from the default Click IP-Router
+configuration (Classifier, EthEncap/EthDecap, CheckIPhdr, IPlookup,
+DecTTL, IP options)".  ``synthetic_pipeline`` builds the parameterised
+branchy pipelines behind the path-scaling experiment (E6).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..dataplane.element import Element
+from ..dataplane.elements import (
+    CheckIPHeader,
+    Classifier,
+    DecIPTTL,
+    Discard,
+    EthDecap,
+    EthEncap,
+    IPLookup,
+    IPOptions,
+    NAT,
+    NetFlow,
+)
+from ..dataplane.pipeline import Pipeline
+from ..ir.builder import ProgramBuilder
+from ..ir.program import ElementProgram
+
+
+DEFAULT_ROUTES: Tuple[Tuple[str, int], ...] = (
+    ("10.0.0.0/8", 0),
+    ("192.168.0.0/16", 0),
+    ("0.0.0.0/0", 0),
+)
+
+
+def ip_router_elements(
+    length: int = 6,
+    verify_checksum: bool = False,
+    max_options: int = 8,
+    routes: Sequence[Tuple[str, int]] = DEFAULT_ROUTES,
+) -> List[Element]:
+    """The first ``length`` elements of the IP-router chain (IP header at offset 0).
+
+    The full chain (length 6) is CheckIPHeader -> IPLookup -> DecIPTTL ->
+    IPOptions -> NetFlow -> NAT; the paper's "pipelines of increasing
+    length" experiments slice prefixes of it.
+    """
+    chain: List[Element] = [
+        CheckIPHeader(name="check_ip", verify_checksum=verify_checksum),
+        IPLookup(list(routes), name="lookup"),
+        DecIPTTL(name="dec_ttl"),
+        IPOptions(name="ip_options", max_options=max_options),
+        NetFlow(name="netflow"),
+        NAT(name="nat"),
+    ]
+    if not 1 <= length <= len(chain):
+        raise ValueError(f"ip_router_elements supports lengths 1..{len(chain)}, got {length}")
+    return chain[:length]
+
+
+def ip_router_pipeline(
+    length: int = 4,
+    verify_checksum: bool = False,
+    max_options: int = 8,
+    routes: Sequence[Tuple[str, int]] = DEFAULT_ROUTES,
+    with_ethernet: bool = False,
+    name: Optional[str] = None,
+) -> Pipeline:
+    """A linear IP-router pipeline of the requested length.
+
+    With ``with_ethernet`` the pipeline is wrapped in Classifier ->
+    EthDecap at the front and EthEncap at the back (packets then enter
+    with their Ethernet header in place); non-IPv4 traffic goes to a
+    Discard sink, as in the Click IP-router configuration.
+    """
+    core = ip_router_elements(
+        length, verify_checksum=verify_checksum, max_options=max_options, routes=routes
+    )
+    pipeline_name = name or f"ip-router-{length}{'-eth' if with_ethernet else ''}"
+    if not with_ethernet:
+        return Pipeline.chain(core, name=pipeline_name)
+
+    pipeline = Pipeline(name=pipeline_name)
+    classifier = Classifier(["12/0800", "-"], name="classify")
+    decap = EthDecap(name="eth_decap")
+    encap = EthEncap(name="eth_encap")
+    sink = Discard(name="non_ip_sink")
+    pipeline.connect(classifier, decap, source_port=0)
+    pipeline.connect(classifier, sink, source_port=1)
+    previous: Element = decap
+    for element in core:
+        pipeline.connect(previous, element)
+        previous = element
+    pipeline.connect(previous, encap)
+    return pipeline
+
+
+def nat_gateway_pipeline(
+    verify_checksum: bool = False,
+    name: str = "nat-gateway",
+) -> Pipeline:
+    """CheckIPHeader -> NetFlow -> NAT: the stateful-pipeline scenario (E8)."""
+    return Pipeline.chain(
+        [
+            CheckIPHeader(name="gw_check", verify_checksum=verify_checksum),
+            NetFlow(name="gw_netflow"),
+            NAT(name="gw_nat"),
+        ],
+        name=name,
+    )
+
+
+class SyntheticBranchyElement(Element):
+    """An element with a configurable number of independent branches.
+
+    Each branch inspects one packet byte, giving exactly ``2^branches``
+    feasible paths per element — the idealised element of the paper's
+    path-counting argument (E6).
+    """
+
+    def __init__(self, branches: int = 3, offset: int = 0, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self.branches = branches
+        self.offset = offset
+
+    def build_program(self) -> ElementProgram:
+        builder = ProgramBuilder(self.name, description=f"{self.branches} independent branches")
+        builder.assign("acc", 0)
+        for index in range(self.branches):
+            byte = builder.load(self.offset + index, 1)
+            with builder.if_(byte > 127):
+                builder.assign("acc", builder.reg("acc") + (1 << index))
+        builder.set_meta("branch_mask", builder.reg("acc"))
+        builder.emit(0)
+        return builder.build()
+
+    def configuration_key(self) -> str:
+        return f"SyntheticBranchy:{self.branches}:{self.offset}"
+
+
+def synthetic_branchy_element(branches: int, offset: int = 0, name: Optional[str] = None) -> Element:
+    """Factory for :class:`SyntheticBranchyElement`."""
+    return SyntheticBranchyElement(branches=branches, offset=offset, name=name)
+
+
+def synthetic_pipeline(
+    elements: int, branches_per_element: int, name: Optional[str] = None
+) -> Pipeline:
+    """A chain of ``elements`` synthetic elements with ``branches_per_element`` branches each."""
+    chain = [
+        SyntheticBranchyElement(
+            branches=branches_per_element, offset=0, name=f"branchy_{index}"
+        )
+        for index in range(elements)
+    ]
+    return Pipeline.chain(chain, name=name or f"synthetic-{elements}x{branches_per_element}")

@@ -1,0 +1,35 @@
+"""Routing-table and classifier-rule generators."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+
+def random_routing_table(
+    entries: int, ports: int = 4, seed: int = 0, include_default: bool = True
+) -> List[Tuple[str, int]]:
+    """A deterministic random list of (prefix, port) routes."""
+    rng = random.Random(seed)
+    routes: List[Tuple[str, int]] = []
+    if include_default:
+        routes.append(("0.0.0.0/0", 0))
+    for _ in range(entries):
+        length = rng.choice([8, 16, 24, 24, 24, 32])
+        address = rng.randrange(1 << 32) & (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        prefix = ".".join(str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+        routes.append((f"{prefix}/{length}", rng.randrange(ports)))
+    return routes
+
+
+def random_classifier_rules(rules: int, seed: int = 0) -> List[str]:
+    """Random Classifier patterns over the Ethernet type and IP protocol bytes."""
+    rng = random.Random(seed)
+    generated: List[str] = []
+    for _ in range(rules):
+        if rng.random() < 0.5:
+            generated.append(f"12/{rng.choice(['0800', '0806', '86dd'])}")
+        else:
+            generated.append(f"23/{rng.randrange(256):02x}")
+    generated.append("-")
+    return generated

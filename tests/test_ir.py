@@ -1,0 +1,270 @@
+"""Tests for the element IR: builder, validation, concrete interpretation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    Assert,
+    Assign,
+    BuilderError,
+    DictState,
+    Drop,
+    ElementProgram,
+    Emit,
+    If,
+    Interpreter,
+    InterpreterError,
+    Outcome,
+    ProgramBuilder,
+    ProgramValidationError,
+    Reg,
+    StoreField,
+    While,
+    validate_program,
+)
+
+
+def build_decttl_like():
+    builder = ProgramBuilder("decttl")
+    ttl = builder.let("ttl", builder.load(8, 1))
+    with builder.if_(ttl <= 1):
+        builder.drop("expired")
+    builder.store(8, 1, ttl - 1)
+    builder.emit(0)
+    return builder.build()
+
+
+class TestBuilder:
+    def test_builds_valid_program(self):
+        program = build_decttl_like()
+        assert validate_program(program).ok
+        assert program.statement_count() >= 4
+        assert program.branch_count() == 1
+
+    def test_else_requires_preceding_if(self):
+        builder = ProgramBuilder("bad")
+        with pytest.raises(BuilderError):
+            with builder.else_():
+                builder.drop()
+
+    def test_else_branch_attached(self):
+        builder = ProgramBuilder("ifelse", num_output_ports=2)
+        value = builder.let("v", builder.load(0, 1))
+        with builder.if_(value == 1):
+            builder.emit(0)
+        with builder.else_():
+            builder.emit(1)
+        program = builder.build()
+        top_if = program.body[-1]
+        assert isinstance(top_if, If)
+        assert len(top_if.then) == 1 and len(top_if.orelse) == 1
+
+    def test_emit_port_checked_against_declaration(self):
+        builder = ProgramBuilder("oneport")
+        with pytest.raises(BuilderError):
+            builder.emit(3)
+
+    def test_table_must_be_declared(self):
+        builder = ProgramBuilder("tables")
+        with pytest.raises(BuilderError):
+            builder.table_read("missing", 0, "v", "f")
+
+    def test_static_table_write_rejected(self):
+        builder = ProgramBuilder("static")
+        builder.declare_table("routes", kind="static")
+        with pytest.raises(BuilderError):
+            builder.table_write("routes", 0, 1)
+
+    def test_duplicate_table_rejected(self):
+        builder = ProgramBuilder("dup")
+        builder.declare_table("t")
+        with pytest.raises(BuilderError):
+            builder.declare_table("t")
+
+    def test_unbalanced_blocks_detected(self):
+        builder = ProgramBuilder("unbalanced")
+        context = builder.if_(builder.load(0, 1) == 1)
+        context.__enter__()
+        with pytest.raises(BuilderError):
+            builder.build()
+
+
+class TestValidation:
+    def test_unassigned_register_detected(self):
+        program = ElementProgram("bad", (Assign("x", Reg("never_set")), Emit(0)))
+        report = validate_program(program)
+        assert not report.ok
+        with pytest.raises(ProgramValidationError):
+            report.raise_if_invalid()
+
+    def test_register_assigned_on_both_branches_is_ok(self):
+        builder = ProgramBuilder("both")
+        value = builder.let("v", builder.load(0, 1))
+        with builder.if_(value == 0):
+            builder.assign("out", 1)
+        with builder.else_():
+            builder.assign("out", 2)
+        builder.store(0, 1, builder.reg("out"))
+        builder.emit(0)
+        assert validate_program(builder.build()).ok
+
+    def test_register_assigned_on_one_branch_flagged(self):
+        program = ElementProgram(
+            "partial",
+            (
+                If(Reg("c"), (Assign("out", 1),), ()),
+                StoreField(0, 1, Reg("out")),
+                Emit(0),
+            ),
+        )
+        report = validate_program(program)
+        assert not report.ok  # both the unassigned 'c' and possibly-unassigned 'out'
+
+    def test_undeclared_table_detected(self):
+        from repro.ir import TableRead
+
+        program = ElementProgram("tables", (TableRead("nope", 0, "v", "f"), Emit(0)))
+        assert not validate_program(program).ok
+
+    def test_unreachable_statement_warned(self):
+        program = ElementProgram("unreach", (Drop("done"), Emit(0)))
+        report = validate_program(program)
+        assert report.ok and report.warnings
+
+    def test_out_of_range_port_detected(self):
+        program = ElementProgram("ports", (Emit(3),), num_output_ports=2)
+        assert not validate_program(program).ok
+
+
+class TestInterpreter:
+    def setup_method(self):
+        self.interpreter = Interpreter()
+
+    def test_emit_and_field_update(self):
+        program = build_decttl_like()
+        result = self.interpreter.run(program, bytes([0] * 8 + [10] + [0] * 11))
+        assert result.outcome == Outcome.EMIT and result.port == 0
+        assert result.data[8] == 9
+
+    def test_drop_path(self):
+        program = build_decttl_like()
+        result = self.interpreter.run(program, bytes([0] * 8 + [1] + [0] * 11))
+        assert result.dropped and result.drop_reason == "expired"
+
+    def test_out_of_bounds_read_crashes(self):
+        program = build_decttl_like()
+        result = self.interpreter.run(program, bytes(4))
+        assert result.crashed and "out-of-bounds" in result.crash_message
+
+    def test_assert_failure_crashes(self):
+        builder = ProgramBuilder("asserts")
+        builder.assert_(builder.load(0, 1) < 10, "value too big")
+        builder.emit(0)
+        program = builder.build()
+        assert self.interpreter.run(program, bytes([5])).emitted
+        result = self.interpreter.run(program, bytes([50]))
+        assert result.crashed and result.crash_message == "value too big"
+
+    def test_division_by_zero_crashes(self):
+        builder = ProgramBuilder("div")
+        builder.assign("q", builder.load(0, 1) // builder.load(1, 1))
+        builder.emit(0)
+        program = builder.build()
+        assert self.interpreter.run(program, bytes([8, 2])).emitted
+        assert self.interpreter.run(program, bytes([8, 0])).crashed
+
+    def test_loop_sums_bytes(self):
+        builder = ProgramBuilder("sum")
+        builder.assign("i", 0)
+        builder.assign("total", 0)
+        with builder.while_(builder.reg("i") < builder.packet_length(), max_iterations=64):
+            builder.assign("total", builder.reg("total") + builder.load(builder.reg("i"), 1))
+            builder.assign("i", builder.reg("i") + 1)
+        builder.set_meta("sum", builder.reg("total"))
+        builder.emit(0)
+        program = builder.build()
+        result = self.interpreter.run(program, bytes([1, 2, 3, 4]))
+        assert result.metadata["sum"] == 10
+
+    def test_loop_bound_overrun_crashes(self):
+        builder = ProgramBuilder("runaway")
+        builder.assign("i", 0)
+        with builder.while_(builder.reg("i") < 100, max_iterations=5):
+            builder.assign("i", builder.reg("i") + 1)
+        builder.emit(0)
+        result = self.interpreter.run(builder.build(), bytes(4))
+        assert result.crashed and "exceeded its bound" in result.crash_message
+
+    def test_push_and_pull_head(self):
+        builder = ProgramBuilder("encapdecap")
+        builder.push_head(2)
+        builder.store(0, 2, 0xBEEF)
+        builder.emit(0)
+        result = self.interpreter.run(builder.build(), bytes([1, 2]))
+        assert bytes(result.data) == b"\xbe\xef\x01\x02"
+
+        builder = ProgramBuilder("strip")
+        builder.pull_head(3)
+        builder.emit(0)
+        result = self.interpreter.run(builder.build(), bytes([9, 9, 9, 7]))
+        assert bytes(result.data) == b"\x07"
+        result = self.interpreter.run(builder.build(), bytes(2))
+        assert result.crashed
+
+    def test_metadata_round_trip(self):
+        builder = ProgramBuilder("meta")
+        builder.set_meta("color", 7)
+        builder.assign("c", builder.meta("color"))
+        builder.store(0, 1, builder.reg("c"))
+        builder.emit(0)
+        result = self.interpreter.run(builder.build(), bytes(1), metadata={"ignored": 3})
+        assert result.data[0] == 7 and result.metadata["color"] == 7
+
+    def test_tables_through_dict_state(self):
+        builder = ProgramBuilder("counter")
+        builder.declare_table("t")
+        value, found = builder.table_read("t", 5, "v", "f")
+        with builder.if_(found):
+            builder.table_write("t", 5, value + 1)
+        with builder.else_():
+            builder.table_write("t", 5, 1)
+        builder.emit(0)
+        program = builder.build()
+        state = DictState()
+        for expected in (1, 2, 3):
+            self.interpreter.run(program, bytes(1), state=state)
+            assert state.table_read("t", 5) == (expected, True)
+
+    def test_unknown_register_is_interpreter_error(self):
+        program = ElementProgram("raw", (StoreField(0, 1, Reg("nope")), Emit(0)))
+        with pytest.raises(InterpreterError):
+            self.interpreter.run(program, bytes(4))
+
+    def test_instruction_counting_is_deterministic(self):
+        program = build_decttl_like()
+        first = self.interpreter.run(program, bytes(20))
+        second = self.interpreter.run(program, bytes(20))
+        assert first.instructions == second.instructions > 0
+
+    def test_instruction_budget(self):
+        tight = Interpreter(max_instructions=10)
+        builder = ProgramBuilder("busy")
+        builder.assign("i", 0)
+        with builder.while_(builder.reg("i") < 50, max_iterations=100):
+            builder.assign("i", builder.reg("i") + 1)
+        builder.emit(0)
+        result = tight.run(builder.build(), bytes(1))
+        assert result.crashed and "budget" in result.crash_message
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=20, max_size=40), st.integers(2, 255))
+    def test_decttl_semantics_property(self, payload, ttl):
+        data = bytearray(payload)
+        data[8] = ttl
+        result = Interpreter().run(build_decttl_like(), data)
+        assert result.emitted
+        assert result.data[8] == ttl - 1
+        # Other bytes are untouched.
+        assert bytes(result.data[:8]) == bytes(data[:8])
+        assert bytes(result.data[9:]) == bytes(data[9:])

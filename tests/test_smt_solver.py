@@ -1,0 +1,261 @@
+"""Unit and property-based tests for the SAT backend and the Solver facade."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import smt
+from repro.smt import (
+    And,
+    BitVec,
+    BitVecVal,
+    Bool,
+    CheckResult,
+    Eq,
+    Implies,
+    Not,
+    Or,
+    Solver,
+    UGT,
+    ULE,
+    ULT,
+    check_formula,
+    evaluate,
+)
+from repro.smt.cnf import CNFBuilder
+from repro.smt.errors import SolverError
+from repro.smt.interval import QuickCheckResult, quick_check
+from repro.smt.sat import SATSolver, SatResult, solve_clauses
+
+
+class TestSATSolver:
+    def test_trivial_sat(self):
+        result, model = solve_clauses([[1], [2, 3]], num_vars=3)
+        assert result == SatResult.SAT
+        assert model[1] is True
+
+    def test_trivial_unsat(self):
+        result, _model = solve_clauses([[1], [-1]], num_vars=1)
+        assert result == SatResult.UNSAT
+
+    def test_pigeonhole_unsat(self):
+        # 3 pigeons in 2 holes: variable p(i,h) = 2*i + h + 1.
+        clauses = []
+        for pigeon in range(3):
+            clauses.append([2 * pigeon + 1, 2 * pigeon + 2])
+        for hole in range(2):
+            for a in range(3):
+                for b in range(a + 1, 3):
+                    clauses.append([-(2 * a + hole + 1), -(2 * b + hole + 1)])
+        result, _model = solve_clauses(clauses, num_vars=6)
+        assert result == SatResult.UNSAT
+
+    def test_model_satisfies_clauses(self):
+        rng = random.Random(42)
+        for _ in range(25):
+            num_vars = rng.randrange(3, 10)
+            clauses = []
+            for _ in range(rng.randrange(3, 25)):
+                clause = [
+                    rng.choice([1, -1]) * rng.randrange(1, num_vars + 1)
+                    for _ in range(rng.randrange(1, 4))
+                ]
+                clauses.append(clause)
+            result, model = solve_clauses(clauses, num_vars=num_vars)
+            brute = self._brute_force(clauses, num_vars)
+            assert (result == SatResult.SAT) == brute
+            if result == SatResult.SAT:
+                assert model is not None
+                for clause in clauses:
+                    assert any(
+                        (model[abs(lit)] if lit > 0 else not model[abs(lit)]) for lit in clause
+                    )
+
+    @staticmethod
+    def _brute_force(clauses, num_vars):
+        for assignment in range(1 << num_vars):
+            values = [(assignment >> i) & 1 == 1 for i in range(num_vars)]
+            ok = all(
+                any((values[abs(l) - 1] if l > 0 else not values[abs(l) - 1]) for l in clause)
+                for clause in clauses
+            )
+            if ok:
+                return True
+        return False
+
+    def test_assumptions(self):
+        solver = SATSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) == SatResult.SAT
+        assert solver.value(2) is True
+        assert solver.solve(assumptions=[-1, -2]) == SatResult.UNSAT
+
+
+class TestCNFBuilder:
+    def test_constant_literals(self):
+        cnf = CNFBuilder()
+        assert cnf.lit_and(cnf.TRUE, cnf.TRUE) == cnf.TRUE
+        assert cnf.lit_and(cnf.TRUE, cnf.FALSE) == cnf.FALSE
+        assert cnf.lit_or(cnf.FALSE, cnf.FALSE) == cnf.FALSE
+        assert cnf.lit_xor(cnf.TRUE, cnf.TRUE) == cnf.FALSE
+
+    def test_gate_encodings_agree_with_python(self):
+        for gate, reference in (("and", lambda a, b: a and b),
+                                ("or", lambda a, b: a or b),
+                                ("xor", lambda a, b: a != b)):
+            for a_value in (False, True):
+                for b_value in (False, True):
+                    cnf = CNFBuilder()
+                    a, b = cnf.new_var(), cnf.new_var()
+                    out = getattr(cnf, f"lit_{gate}")(a, b)
+                    cnf.assert_lit(a if a_value else -a)
+                    cnf.assert_lit(b if b_value else -b)
+                    cnf.assert_lit(out)
+                    result, _ = solve_clauses(cnf.clauses, num_vars=cnf.num_vars)
+                    expected = reference(a_value, b_value)
+                    assert (result == SatResult.SAT) == expected
+
+
+class TestSolverFacade:
+    def test_sat_with_model(self):
+        x = BitVec("x", 8)
+        solver = Solver()
+        solver.add(ULT(x, 10), UGT(x, 7))
+        assert solver.check() == CheckResult.SAT
+        assert solver.model()["x"] in (8, 9)
+
+    def test_unsat(self):
+        x = BitVec("x", 8)
+        solver = Solver()
+        solver.add(ULT(x, 3), UGT(x, 5))
+        assert solver.check() == CheckResult.UNSAT
+
+    def test_model_before_check_raises(self):
+        with pytest.raises(SolverError):
+            Solver().model()
+
+    def test_push_pop(self):
+        x = BitVec("x", 8)
+        solver = Solver()
+        solver.add(ULT(x, 10))
+        solver.push()
+        solver.add(UGT(x, 20))
+        assert solver.check() == CheckResult.UNSAT
+        solver.pop()
+        assert solver.check() == CheckResult.SAT
+        with pytest.raises(SolverError):
+            solver.pop()
+
+    def test_non_boolean_assertion_rejected(self):
+        with pytest.raises(SolverError):
+            Solver().add(BitVec("x", 8))
+
+    def test_cache_hit_statistics(self):
+        x = BitVec("x", 8)
+        solver = Solver()
+        solver.add(Eq(x, BitVecVal(4, 8)))
+        solver.check()
+        solver.check()
+        assert solver.statistics.cache_hits >= 1
+
+    def test_multi_variable_arithmetic(self):
+        x, y, z = BitVec("x", 16), BitVec("y", 16), BitVec("z", 16)
+        status, model = check_formula(
+            And(Eq(x + y, BitVecVal(1000, 16)), Eq(y, z * 3), UGT(z, 50), ULT(x, 900))
+        )
+        assert status == CheckResult.SAT
+        assert model is not None
+        x_value, y_value, z_value = model["x"], model["y"], model["z"]
+        assert (x_value + y_value) % 65536 == 1000
+        assert y_value == (z_value * 3) % 65536
+        assert z_value > 50 and x_value < 900
+
+    def test_boolean_structure(self):
+        a, b, c = Bool("a"), Bool("b"), Bool("c")
+        status, model = check_formula(And(Or(a, b), Implies(a, c), Not(c)))
+        assert status == CheckResult.SAT
+        assert model is not None and model.satisfies(And(Or(a, b), Implies(a, c), Not(c)))
+
+
+class TestQuickCheck:
+    def test_unsat_interval(self):
+        x = BitVec("x", 8)
+        outcome = quick_check(And(ULT(x, 3), UGT(x, 10)))
+        assert outcome.status == QuickCheckResult.UNSAT
+
+    def test_sat_with_model(self):
+        x = BitVec("x", 8)
+        outcome = quick_check(And(UGT(x, 3), ULT(x, 10)))
+        assert outcome.status == QuickCheckResult.SAT
+        assert 3 < outcome.model["x"] < 10
+
+    def test_unknown_for_complex_terms(self):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        outcome = quick_check(Eq(x + y, BitVecVal(5, 8)))
+        assert outcome.status == QuickCheckResult.UNKNOWN
+
+    def test_disequality_exhaustion(self):
+        x = BitVec("x", 8)
+        constraints = [ULE(x, BitVecVal(1, 8))] + [
+            Not(Eq(x, BitVecVal(v, 8))) for v in (0, 1)
+        ]
+        outcome = quick_check(And(*constraints))
+        assert outcome.status == QuickCheckResult.UNSAT
+
+
+@st.composite
+def bitvector_formula(draw):
+    """Random 8-bit formulas over two variables, paired with a reference evaluator."""
+    x = BitVec("x", 8)
+    y = BitVec("y", 8)
+
+    def term(depth):
+        if depth == 0 or draw(st.booleans()):
+            choice = draw(st.integers(min_value=0, max_value=2))
+            if choice == 0:
+                return x
+            if choice == 1:
+                return y
+            return BitVecVal(draw(st.integers(min_value=0, max_value=255)), 8)
+        op = draw(st.sampled_from(["add", "sub", "and", "or", "xor", "mul"]))
+        a, b = term(depth - 1), term(depth - 1)
+        return {
+            "add": a + b,
+            "sub": a - b,
+            "and": a & b,
+            "or": a | b,
+            "xor": a ^ b,
+            "mul": a * b,
+        }[op]
+
+    left, right = term(2), term(2)
+    comparison = draw(st.sampled_from(["eq", "ult", "ule"]))
+    formula = {"eq": Eq, "ult": ULT, "ule": ULE}[comparison](left, right)
+    if draw(st.booleans()):
+        formula = Not(formula)
+    return formula
+
+
+class TestSolverAgainstEvaluation:
+    @settings(max_examples=30, deadline=None)
+    @given(bitvector_formula())
+    def test_sat_models_satisfy_formula(self, formula):
+        status, model = check_formula(formula)
+        if status == CheckResult.SAT:
+            assert model is not None
+            assert bool(model.evaluate(formula)) is True
+
+    @settings(max_examples=20, deadline=None)
+    @given(bitvector_formula(), st.integers(0, 255), st.integers(0, 255))
+    def test_unsat_means_no_witness(self, formula, x_value, y_value):
+        status, _model = check_formula(formula)
+        if status == CheckResult.UNSAT:
+            assert evaluate(formula, {"x": x_value, "y": y_value}) is False
+
+    @settings(max_examples=30, deadline=None)
+    @given(bitvector_formula(), st.integers(0, 255), st.integers(0, 255))
+    def test_simplify_preserves_truth(self, formula, x_value, y_value):
+        env = {"x": x_value, "y": y_value}
+        assert evaluate(formula, env) == evaluate(smt.simplify(formula), env)

@@ -1,0 +1,233 @@
+"""Unit tests for the SMT term language, evaluation and simplification."""
+
+import pytest
+
+from repro import smt
+from repro.smt import (
+    And,
+    BitVec,
+    BitVecVal,
+    Bool,
+    BoolVal,
+    Concat,
+    Eq,
+    Extract,
+    If,
+    Implies,
+    Not,
+    Or,
+    SignExt,
+    SLT,
+    Term,
+    UDiv,
+    ULE,
+    ULT,
+    URem,
+    ZeroExt,
+    evaluate,
+    simplify,
+    substitute,
+)
+from repro.smt.errors import EvaluationError, InvalidTermError, SortMismatchError
+from repro.smt.sorts import BOOL, BitVecSort, bitvec
+
+
+class TestSorts:
+    def test_bitvec_sort_equality(self):
+        assert BitVecSort(8) == BitVecSort(8)
+        assert BitVecSort(8) != BitVecSort(16)
+        assert bitvec(32).width == 32
+
+    def test_bitvec_sort_mask_and_modulus(self):
+        assert BitVecSort(8).mask == 0xFF
+        assert BitVecSort(8).modulus == 256
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(InvalidTermError):
+            BitVecSort(0)
+        with pytest.raises(InvalidTermError):
+            BitVecSort(-4)
+
+    def test_bool_sort_is_singleton_like(self):
+        assert BOOL.is_bool()
+        assert not BOOL.is_bitvec()
+
+
+class TestConstruction:
+    def test_constants_reduced_modulo_width(self):
+        term = BitVecVal(0x1FF, 8)
+        assert term.value == 0xFF
+        assert term.width == 8
+
+    def test_variable_requires_name(self):
+        with pytest.raises(InvalidTermError):
+            smt.terms.mk_bv_var("", 8)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SortMismatchError):
+            BitVec("a", 8) + BitVec("b", 16)
+
+    def test_extract_bounds_checked(self):
+        x = BitVec("x", 8)
+        with pytest.raises(InvalidTermError):
+            Extract(8, 0, x)
+        with pytest.raises(InvalidTermError):
+            Extract(3, 5, x)
+
+    def test_concat_width(self):
+        x, y = BitVec("x", 8), BitVec("y", 16)
+        assert Concat(x, y).width == 24
+
+    def test_boolean_ops_reject_bitvectors(self):
+        with pytest.raises(SortMismatchError):
+            And(BitVec("x", 8), BoolVal(True))
+
+    def test_free_variables(self):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        term = ULT(x + y, BitVecVal(5, 8))
+        assert set(term.free_variables()) == {"x", "y"}
+
+    def test_operator_overloads_build_terms(self):
+        x = BitVec("x", 8)
+        assert (x + 1).op == smt.Op.BV_ADD
+        assert (x & 0x0F).op == smt.Op.BV_AND
+        assert (x < 5).op == smt.Op.ULT
+        assert (~x).op == smt.Op.BV_NOT
+
+
+class TestEvaluation:
+    def test_arithmetic_wraps(self):
+        x = BitVec("x", 8)
+        assert evaluate(x + 10, {"x": 250}) == (250 + 10) % 256
+        assert evaluate(x - 10, {"x": 5}) == (5 - 10) % 256
+        assert evaluate(x * 3, {"x": 100}) == (100 * 3) % 256
+
+    def test_division_semantics(self):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        assert evaluate(UDiv(x, y), {"x": 7, "y": 2}) == 3
+        assert evaluate(URem(x, y), {"x": 7, "y": 2}) == 1
+        # SMT-LIB: division by zero is all-ones, remainder is the dividend.
+        assert evaluate(UDiv(x, y), {"x": 7, "y": 0}) == 0xFF
+        assert evaluate(URem(x, y), {"x": 7, "y": 0}) == 7
+
+    def test_shifts(self):
+        x = BitVec("x", 8)
+        assert evaluate(x << BitVecVal(2, 8), {"x": 3}) == 12
+        assert evaluate(x >> BitVecVal(2, 8), {"x": 12}) == 3
+        assert evaluate(x << BitVecVal(9, 8), {"x": 3}) == 0
+
+    def test_comparisons_signed_and_unsigned(self):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        assert evaluate(ULT(x, y), {"x": 1, "y": 0xFF}) is True
+        assert evaluate(SLT(x, y), {"x": 1, "y": 0xFF}) is False  # 0xFF is -1 signed
+
+    def test_structural_ops(self):
+        x = BitVec("x", 16)
+        assert evaluate(Extract(15, 8, x), {"x": 0xABCD}) == 0xAB
+        assert evaluate(Extract(7, 0, x), {"x": 0xABCD}) == 0xCD
+        assert evaluate(Concat(BitVecVal(0xAB, 8), BitVecVal(0xCD, 8)), {}) == 0xABCD
+        assert evaluate(ZeroExt(8, BitVecVal(0xFF, 8)), {}) == 0xFF
+        assert evaluate(SignExt(8, BitVecVal(0xFF, 8)), {}) == 0xFFFF
+
+    def test_ite(self):
+        x = BitVec("x", 8)
+        term = If(ULT(x, 10), BitVecVal(1, 8), BitVecVal(2, 8))
+        assert evaluate(term, {"x": 5}) == 1
+        assert evaluate(term, {"x": 50}) == 2
+
+    def test_boolean_connectives(self):
+        a, b = Bool("a"), Bool("b")
+        assert evaluate(And(a, b), {"a": True, "b": True}) is True
+        assert evaluate(Or(a, b), {"a": False, "b": False}) is False
+        assert evaluate(Implies(a, b), {"a": True, "b": False}) is False
+        assert evaluate(Not(a), {"a": False}) is True
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate(BitVec("missing", 8), {})
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        folded = simplify(BitVecVal(3, 8) + BitVecVal(4, 8))
+        assert folded.op == smt.Op.BV_CONST and folded.value == 7
+
+    def test_identity_rules(self):
+        x = BitVec("x", 8)
+        assert simplify(x + 0).structurally_equal(x)
+        assert simplify(x & 0xFF).structurally_equal(x)
+        assert simplify(x | 0).structurally_equal(x)
+        assert simplify(x ^ x).value == 0
+        assert simplify(x * 1).structurally_equal(x)
+        zero = simplify(x & 0)
+        assert zero.op == smt.Op.BV_CONST and zero.value == 0
+
+    def test_boolean_simplification(self):
+        a = Bool("a")
+        assert simplify(And(a, BoolVal(True))).structurally_equal(a)
+        assert simplify(And(a, BoolVal(False))).is_false()
+        assert simplify(Or(a, BoolVal(True))).is_true()
+        assert simplify(Not(Not(a))).structurally_equal(a)
+        assert simplify(And(a, Not(a))).is_false()
+        assert simplify(Or(a, Not(a))).is_true()
+
+    def test_comparison_simplification(self):
+        x = BitVec("x", 8)
+        assert simplify(ULT(x, BitVecVal(0, 8))).is_false()
+        assert simplify(ULE(BitVecVal(0, 8), x)).is_true()
+        assert simplify(Eq(x, x)).is_true()
+
+    def test_extract_of_concat(self):
+        lo, hi = BitVec("lo", 8), BitVec("hi", 8)
+        term = Extract(7, 0, Concat(hi, lo))
+        assert simplify(term).structurally_equal(lo)
+        term = Extract(15, 8, Concat(hi, lo))
+        assert simplify(term).structurally_equal(hi)
+
+    def test_extract_of_zext(self):
+        x = BitVec("x", 8)
+        assert simplify(Extract(7, 0, ZeroExt(8, x))).structurally_equal(x)
+        high = simplify(Extract(15, 8, ZeroExt(8, x)))
+        assert high.op == smt.Op.BV_CONST and high.value == 0
+
+    def test_simplify_preserves_semantics_on_samples(self):
+        x = BitVec("x", 8)
+        terms = [
+            (x + 0) * 1,
+            (x ^ x) | x,
+            If(ULT(x, 10), x, x),
+            Extract(3, 0, Concat(BitVecVal(0xA, 4), Extract(3, 0, x))),
+        ]
+        for term in terms:
+            reduced = simplify(term)
+            for value in (0, 1, 9, 10, 127, 255):
+                assert evaluate(term, {"x": value}) == evaluate(reduced, {"x": value})
+
+
+class TestSubstitute:
+    def test_substitute_variable(self):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        term = ULT(x + 1, BitVecVal(5, 8))
+        replaced = substitute(term, {"x": y})
+        assert "x" not in replaced.free_variables()
+        assert "y" in replaced.free_variables()
+
+    def test_substitute_checks_sorts(self):
+        x = BitVec("x", 8)
+        with pytest.raises(SortMismatchError):
+            substitute(x + 1, {"x": BitVec("wide", 16)})
+
+    def test_substitution_semantics(self):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        term = (x + 3) * 2
+        replaced = substitute(term, {"x": y + 1})
+        for value in (0, 5, 200):
+            assert evaluate(replaced, {"y": value}) == evaluate(term, {"x": (value + 1) % 256})
+
+
+class TestSexpr:
+    def test_rendering_is_stable(self):
+        x = BitVec("x", 8)
+        term = And(ULT(x, BitVecVal(16, 8)), Not(Eq(x, BitVecVal(3, 8))))
+        assert term.to_sexpr() == term.to_sexpr()
+        assert "bvult" in term.to_sexpr()

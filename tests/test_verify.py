@@ -1,0 +1,268 @@
+"""Tests for the verifier: Step-1 suspects, Step-2 composition, properties, baseline."""
+
+import pytest
+
+from repro import smt
+from repro.dataplane import Element, Pipeline, PipelineDriver
+from repro.dataplane.elements import (
+    CheckIPHeader,
+    DecIPTTL,
+    IPLookup,
+    IPOptions,
+    NetFlow,
+)
+from repro.ir import ElementProgram, ProgramBuilder
+from repro.symbex import SymbexOptions
+from repro.verify import (
+    CompositionEngine,
+    CrashFreedom,
+    MonolithicVerifier,
+    PipelineVerifier,
+    SummaryCache,
+    Verdict,
+    destination_reachability,
+    verify_crash_freedom,
+)
+from repro.workloads import ip_router_pipeline, synthetic_pipeline
+
+INPUT_LENGTH = 24
+
+
+class ToyClamp(Element):
+    """E1 of Figure 2: clamp "negative" (sign-bit-set) bytes to zero."""
+
+    def build_program(self) -> ElementProgram:
+        builder = ProgramBuilder(self.name)
+        value = builder.let("value", builder.load(0, 1))
+        with builder.if_(value >= 0x80):
+            builder.store(0, 1, 0)
+        builder.emit(0)
+        return builder.build()
+
+
+class ToyAssert(Element):
+    """E2 of Figure 2: crash on "negative" input, clamp small values to 10."""
+
+    def build_program(self) -> ElementProgram:
+        builder = ProgramBuilder(self.name)
+        value = builder.let("value", builder.load(0, 1))
+        builder.assert_(value < 0x80, "negative input")
+        with builder.if_(value < 10):
+            builder.store(0, 1, 10)
+        builder.emit(0)
+        return builder.build()
+
+
+class TestFigure2:
+    def test_suspect_element_alone_is_violated(self):
+        result = verify_crash_freedom(
+            Pipeline.chain([ToyAssert(name="E2")], name="e2-alone"), input_lengths=[1]
+        )
+        assert result.violated
+        counterexample = result.counterexamples[0]
+        assert counterexample.packet[0] >= 0x80
+        assert counterexample.confirmed_by_replay is True
+
+    def test_composed_pipeline_is_proved(self):
+        pipeline = Pipeline.chain([ToyClamp(name="E1"), ToyAssert(name="E2")], name="toy")
+        result = verify_crash_freedom(pipeline, input_lengths=[1])
+        assert result.proved
+        # Step 1 found the suspect; Step 2 discharged it.
+        assert result.statistics.suspect_segments >= 1
+        assert result.statistics.composed_paths_feasible == 0
+
+    def test_step1_shortcut_when_no_suspects(self):
+        pipeline = Pipeline.chain([ToyClamp(name="E1"), ToyClamp(name="E1b")], name="clamps")
+        result = verify_crash_freedom(pipeline, input_lengths=[1])
+        assert result.proved
+        assert result.statistics.suspect_segments == 0
+        assert result.statistics.composed_paths_checked == 0
+
+
+class TestIPRouterVerification:
+    def test_router_prefixes_are_crash_free(self):
+        for length in (1, 2, 3):
+            pipeline = ip_router_pipeline(length=length, verify_checksum=False)
+            result = verify_crash_freedom(pipeline, input_lengths=[INPUT_LENGTH])
+            assert result.proved, result.summary()
+
+    def test_checkipheader_protects_ipoptions(self):
+        pipeline = Pipeline.chain(
+            [CheckIPHeader(name="chk", verify_checksum=False), IPOptions(name="opts", max_options=8)],
+            name="protects",
+        )
+        result = verify_crash_freedom(pipeline, input_lengths=[INPUT_LENGTH])
+        assert result.proved
+        assert result.statistics.suspect_segments > 0  # suspects existed but were infeasible
+
+    def test_unprotected_ipoptions_is_violated_with_confirmed_packet(self):
+        pipeline = Pipeline.chain([IPOptions(name="opts", max_options=8)], name="unprotected")
+        result = verify_crash_freedom(pipeline, input_lengths=[INPUT_LENGTH])
+        assert result.violated
+        counterexample = result.counterexamples[0]
+        assert counterexample.confirmed_by_replay is True
+        # Replaying the packet really does crash the concrete element.
+        driver = PipelineDriver(pipeline)
+        assert driver.inject(counterexample.packet).crashed
+
+    def test_instruction_bound_is_respected_by_concrete_traffic(self):
+        pipeline = ip_router_pipeline(length=3, verify_checksum=False)
+        verifier = PipelineVerifier(pipeline, options=SymbexOptions(max_paths=20_000))
+        bound = verifier.instruction_bound(input_lengths=[INPUT_LENGTH], find_witness=False)
+        assert bound.bound > 0
+
+        from repro.workloads import PacketWorkload
+
+        driver = PipelineDriver(ip_router_pipeline(length=3, verify_checksum=False))
+        for packet in PacketWorkload(valid=15, malformed=10, random_blobs=10, seed=11):
+            trace = driver.inject(packet[:INPUT_LENGTH].ljust(INPUT_LENGTH, b"\x00"))
+            assert trace.total_instructions <= bound.bound
+
+    def test_bound_grows_with_pipeline_length(self):
+        bounds = []
+        for length in (1, 2, 3):
+            verifier = PipelineVerifier(
+                ip_router_pipeline(length=length, verify_checksum=False),
+                options=SymbexOptions(max_paths=20_000),
+            )
+            bounds.append(verifier.instruction_bound(input_lengths=[INPUT_LENGTH], find_witness=False).bound)
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_stateful_pipeline_crash_freedom(self):
+        pipeline = Pipeline.chain(
+            [CheckIPHeader(name="chk", verify_checksum=False), NetFlow(name="nf")],
+            name="stateful",
+        )
+        result = verify_crash_freedom(pipeline, input_lengths=[INPUT_LENGTH])
+        assert result.proved
+
+
+class TestReachability:
+    def build_pipeline(self):
+        return Pipeline.chain(
+            [
+                CheckIPHeader(name="chk", verify_checksum=False),
+                IPLookup([("10.0.0.0/8", 0), ("0.0.0.0/0", 0)], name="rt"),
+                DecIPTTL(name="ttl"),
+            ],
+            name="reach",
+        )
+
+    def test_naive_property_finds_ttl_drop(self):
+        pipeline = self.build_pipeline()
+        prop = destination_reachability(0x0A010203, exempt_elements={"chk"})
+        result = PipelineVerifier(pipeline).verify(prop, input_lengths=[INPUT_LENGTH])
+        assert result.violated
+        assert any(c.violating_element == "ttl" for c in result.counterexamples)
+
+    def test_refined_property_is_proved(self):
+        pipeline = self.build_pipeline()
+        base = destination_reachability(0x0A010203, exempt_elements={"chk"})
+
+        def predicate(packet_bytes):
+            ttl = smt.ZeroExt(56, packet_bytes[8])
+            return smt.And(base.input_predicate(packet_bytes), smt.UGT(ttl, smt.BitVecVal(1, 64)))
+
+        from repro.verify import Reachability
+
+        prop = Reachability(
+            input_predicate=predicate,
+            exempt_elements={"chk"},
+            description="packets with TTL > 1 to 10.1.2.3 are delivered",
+        )
+        result = PipelineVerifier(pipeline).verify(prop, input_lengths=[INPUT_LENGTH])
+        assert result.proved, result.summary()
+
+    def test_missing_route_is_detected(self):
+        pipeline = Pipeline.chain(
+            [
+                CheckIPHeader(name="chk", verify_checksum=False),
+                IPLookup([("192.168.0.0/16", 0)], name="rt"),
+            ],
+            name="noroute",
+        )
+        prop = destination_reachability(0x0A010203, exempt_elements={"chk"})
+        result = PipelineVerifier(pipeline).verify(prop, input_lengths=[INPUT_LENGTH])
+        assert result.violated
+        assert any(c.violating_element == "rt" for c in result.counterexamples)
+
+
+class TestCompositionEngine:
+    def test_summary_cache_deduplicates_by_configuration(self):
+        cache = SummaryCache(SymbexOptions())
+        first = DecIPTTL(name="ttl_a")
+        second = DecIPTTL(name="ttl_b")
+        cache.summarize(first, 20)
+        cache.summarize(second, 20)
+        assert cache.statistics.misses == 1
+        assert cache.statistics.hits == 1
+
+    def test_extend_threads_packet_state(self):
+        cache = SummaryCache(SymbexOptions())
+        composer = CompositionEngine(cache)
+        element = DecIPTTL(name="ttl")
+        summary = cache.summarize(element, 20)
+        emit = summary.emit_segments[0]
+        prefix = composer.initial_prefix(20)
+        extended = composer.extend(prefix, element.name, emit)
+        assert len(extended.current_bytes) == 20
+        assert extended.instructions == emit.instructions
+        feasible, model = composer.is_feasible(extended)
+        assert feasible and model is not None
+
+    def test_routes_to_enumeration(self):
+        pipeline = ip_router_pipeline(length=3, verify_checksum=False)
+        verifier = PipelineVerifier(pipeline)
+        target = pipeline.element("dec_ttl")
+        routes = verifier.composer.routes_to(pipeline, verifier.entry, target)
+        assert len(routes) == 1
+        assert [element.name for element, _port in routes[0]] == ["check_ip", "lookup"]
+
+
+class TestMonolithicBaseline:
+    def test_agrees_with_decomposed_on_small_pipeline(self):
+        pipeline = Pipeline.chain(
+            [CheckIPHeader(name="chk", verify_checksum=False), DecIPTTL(name="ttl")],
+            name="small",
+        )
+        decomposed = verify_crash_freedom(pipeline, input_lengths=[INPUT_LENGTH])
+        monolithic = MonolithicVerifier(
+            pipeline, options=SymbexOptions(max_paths=10_000, max_seconds=60)
+        ).verify(CrashFreedom(), input_length=INPUT_LENGTH)
+        assert decomposed.proved and monolithic.proved
+
+    def test_budget_exhaustion_reported(self):
+        pipeline = synthetic_pipeline(elements=6, branches_per_element=4)
+        baseline = MonolithicVerifier(pipeline, options=SymbexOptions(max_paths=50, max_seconds=30))
+        result = baseline.verify(CrashFreedom(), input_length=8)
+        assert result.verdict == Verdict.UNKNOWN
+        assert result.statistics.budget_exceeded
+
+    def test_finds_the_same_bug_as_decomposition(self):
+        pipeline = Pipeline.chain([ToyAssert(name="E2")], name="bug")
+        monolithic = MonolithicVerifier(pipeline).verify(CrashFreedom(), input_length=1)
+        assert monolithic.violated
+        assert monolithic.counterexamples[0].packet[0] >= 0x80
+
+
+class TestPathScaling:
+    def test_decomposed_work_is_linear_monolithic_exponential(self):
+        """k elements with n branches: k*2^n segments decomposed vs ~2^(k*n) monolithic paths."""
+        branches = 2
+        segment_counts = []
+        monolithic_paths = []
+        for k in (1, 2, 3):
+            pipeline = synthetic_pipeline(elements=k, branches_per_element=branches)
+            verifier = PipelineVerifier(pipeline)
+            summaries = verifier.element_summaries(8)
+            segment_counts.append(sum(len(s.segments) for _e, s in summaries.values()))
+            baseline = MonolithicVerifier(
+                pipeline, options=SymbexOptions(max_paths=100_000, max_seconds=60)
+            )
+            result = baseline.verify(CrashFreedom(), input_length=8)
+            monolithic_paths.append(
+                getattr(result.statistics, "pipeline_paths_explored", 0)
+            )
+        per_element = 2**branches
+        assert segment_counts == [per_element * k for k in (1, 2, 3)]
+        assert monolithic_paths == [per_element**k for k in (1, 2, 3)]

@@ -1,0 +1,108 @@
+"""Tests for the workload generators and the pipeline catalogue."""
+
+import pytest
+
+from repro.dataplane import PipelineDriver
+from repro.net import IPv4Header, verify_checksum
+from repro.workloads import (
+    PacketWorkload,
+    adversarial_packets,
+    ip_router_elements,
+    ip_router_pipeline,
+    malformed_ip_packets,
+    nat_gateway_pipeline,
+    random_ip_packets,
+    random_routing_table,
+    synthetic_pipeline,
+    well_formed_ip_packet,
+)
+
+
+class TestPacketGenerators:
+    def test_well_formed_packet_is_parseable_and_checksummed(self):
+        packet = well_formed_ip_packet(dst="10.1.2.3", ttl=9)
+        header = IPv4Header.unpack(packet)
+        assert str(header.dst) == "10.1.2.3" and header.ttl == 9
+        assert verify_checksum(packet[:20])
+
+    def test_generators_are_deterministic(self):
+        assert random_ip_packets(5, seed=3) == random_ip_packets(5, seed=3)
+        assert malformed_ip_packets(5, seed=3) == malformed_ip_packets(5, seed=3)
+        assert adversarial_packets(5, seed=3) == adversarial_packets(5, seed=3)
+        assert random_ip_packets(5, seed=3) != random_ip_packets(5, seed=4)
+
+    def test_malformed_packets_fail_validation(self):
+        from repro.dataplane.elements import CheckIPHeader
+        from repro.ir import Interpreter
+
+        checker = CheckIPHeader()
+        dropped = 0
+        for packet in malformed_ip_packets(20):
+            result = Interpreter().run(checker.program, packet, state=checker.state)
+            dropped += result.dropped
+        assert dropped >= 15  # almost every mutation breaks a checked invariant
+
+    def test_workload_mix_and_length(self):
+        workload = PacketWorkload(valid=10, malformed=5, random_blobs=5, seed=1)
+        packets = workload.packets()
+        assert len(packets) == len(workload) == 20
+        assert packets == workload.packets()  # stable across calls
+
+    def test_ethernet_framing_option(self):
+        packet = well_formed_ip_packet(with_ethernet=True)
+        assert int.from_bytes(packet[12:14], "big") == 0x0800
+
+
+class TestTables:
+    def test_routing_table_generator(self):
+        routes = random_routing_table(50, ports=4, seed=9)
+        assert routes[0] == ("0.0.0.0/0", 0)
+        assert len(routes) == 51
+        assert all(0 <= port < 4 for _prefix, port in routes)
+        assert routes == random_routing_table(50, ports=4, seed=9)
+
+
+class TestPipelineCatalogue:
+    def test_ip_router_lengths(self):
+        assert [element.name for element in ip_router_elements(3)] == [
+            "check_ip",
+            "lookup",
+            "dec_ttl",
+        ]
+        with pytest.raises(ValueError):
+            ip_router_elements(0)
+        with pytest.raises(ValueError):
+            ip_router_elements(9)
+
+    def test_ip_router_pipeline_runs_traffic(self):
+        pipeline = ip_router_pipeline(length=4, verify_checksum=True)
+        driver = PipelineDriver(pipeline)
+        delivered = 0
+        for packet in random_ip_packets(20, seed=5):
+            delivered += driver.inject(packet).delivered
+        assert delivered == 20
+        assert driver.statistics.packets_crashed == 0
+
+    def test_ethernet_wrapped_router(self):
+        pipeline = ip_router_pipeline(length=2, with_ethernet=True)
+        driver = PipelineDriver(pipeline)
+        trace = driver.inject(
+            well_formed_ip_packet(dst="10.3.3.3", with_ethernet=True),
+            entry=pipeline.element("classify"),
+        )
+        assert trace.delivered and trace.egress_element == "eth_encap"
+
+    def test_nat_gateway_pipeline(self):
+        pipeline = nat_gateway_pipeline()
+        driver = PipelineDriver(pipeline)
+        for packet in random_ip_packets(10, seed=6):
+            driver.inject(packet)
+        assert driver.statistics.packets_crashed == 0
+
+    def test_synthetic_pipeline_path_count(self):
+        pipeline = synthetic_pipeline(elements=2, branches_per_element=3)
+        assert len(pipeline.elements) == 2
+        driver = PipelineDriver(pipeline)
+        trace = driver.inject(bytes(8))
+        assert trace.delivered
+        assert trace.output_metadata["branch_mask"] == 0
