@@ -14,9 +14,11 @@ from repro.symbex import SymbexOptions
 from repro.verify import CrashFreedom, MonolithicVerifier, PipelineVerifier, Verdict
 from repro.workloads import synthetic_pipeline
 
-INPUT_LENGTH = 12
 BRANCHES_PER_ELEMENT = 3
 PIPELINE_LENGTHS = (1, 2, 3, 4, 5)
+# Each synthetic element branches on its own bytes; the packet must cover
+# the offsets of the longest pipeline.
+INPUT_LENGTH = BRANCHES_PER_ELEMENT * max(PIPELINE_LENGTHS)
 MONOLITHIC_PATH_BUDGET = 200  # the scaled-down stand-in for the paper's 12-hour budget
 
 

@@ -278,6 +278,12 @@ class IPOptions(Element):
         # No options: the common case, fast path.
         with builder.if_(hlen <= IPV4_MIN_HEADER_LEN):
             builder.emit(0)
+        # Touch the end of the options region before walking it, trusting the
+        # IHL — exactly what Click does when it copies the options for
+        # processing.  When an upstream CheckIPHeader has established that the
+        # header fits in the packet this read is safe; in isolation it is an
+        # out-of-bounds read (a crash) for packets whose IHL lies.
+        builder.let("options_end", builder.load(hlen - 1, 1))
         builder.assign("position", IPV4_MIN_HEADER_LEN)
         with builder.while_(
             builder.reg("position") < hlen,

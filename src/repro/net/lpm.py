@@ -116,14 +116,24 @@ class DirectIndexLPM:
     To keep memory reasonable in pure Python the first-level "array" is a
     dict used as a sparse array; the access discipline (bounded index,
     fixed capacity) is preserved and checked.
+
+    Very short prefixes are not expanded into the first level: a ``/0``
+    would mean 2^24 slot writes per insert.  Prefixes of length up to
+    :data:`WIDE_THRESHOLD` instead live in a small side list consulted
+    when the direct index has nothing more specific — insertion stays
+    bounded at ``2^(24 - WIDE_THRESHOLD)`` slot writes, and lookups remain
+    two array reads plus a scan of the (few) wide routes.
     """
 
     SECOND_LEVEL_SIZE = 256
+    #: Prefixes this short (or shorter) are kept unexpanded.
+    WIDE_THRESHOLD = 12
 
     def __init__(self) -> None:
         # level-1 slot: ("direct", entry-or-None) or ("indirect", block index)
         self._level1: Dict[int, Tuple[str, object]] = {}
         self._level2: List[List[Optional[RouteEntry]]] = []
+        self._wide: List[RouteEntry] = []
         self._routes: List[RouteEntry] = []
 
     def __len__(self) -> int:
@@ -143,7 +153,9 @@ class DirectIndexLPM:
         )
         self._routes.append(entry)
         network = int(prefix.network)
-        if prefix.length <= 24:
+        if prefix.length <= self.WIDE_THRESHOLD:
+            self._wide.append(entry)
+        elif prefix.length <= 24:
             span = 1 << (24 - prefix.length)
             base = network >> 8
             for index in range(base, base + span):
@@ -186,13 +198,29 @@ class DirectIndexLPM:
     def lookup(self, address: Union[str, int, IPv4Address]) -> Optional[RouteEntry]:
         value = int(IPv4Address(address))
         slot = self._level1.get(value >> 8)
-        if slot is None:
-            return None
-        kind, payload = slot
-        if kind == "direct":
-            return payload  # type: ignore[return-value]
-        block = self._level2[int(payload)]  # type: ignore[arg-type]
-        return block[value & 0xFF]
+        indexed: Optional[RouteEntry] = None
+        if slot is not None:
+            kind, payload = slot
+            if kind == "direct":
+                indexed = payload  # type: ignore[assignment]
+            else:
+                block = self._level2[int(payload)]  # type: ignore[arg-type]
+                indexed = block[value & 0xFF]
+        if indexed is not None:
+            # Every indexed entry is longer than WIDE_THRESHOLD, so it always
+            # beats any unexpanded wide route.
+            return indexed
+        return self._best_wide(value)
+
+    def _best_wide(self, value: int) -> Optional[RouteEntry]:
+        best: Optional[RouteEntry] = None
+        for entry in self._wide:
+            length = entry.prefix.length
+            if length and (value >> (32 - length)) != (int(entry.prefix.network) >> (32 - length)):
+                continue
+            if best is None or length >= best.prefix.length:
+                best = entry
+        return best
 
     def routes(self) -> Iterator[RouteEntry]:
         return iter(list(self._routes))

@@ -59,16 +59,18 @@ from .errors import (
     SolverError,
     SortMismatchError,
 )
+from .context import AssumptionChecker, ContextStatistics, SolverContext
 from .evaluate import evaluate
 from .model import Model
 from .simplify import is_literal_false, is_literal_true, simplify
 from .solver import CheckResult, Solver, SolverStatistics, check_formula
 from .sorts import BOOL, BitVecSort, BoolSort, Sort, bitvec
-from .terms import FALSE, TRUE, Op, Term
+from .terms import FALSE, TRUE, Op, Term, intern_term, mk_term
 
 __all__ = [
     "AShR",
     "And",
+    "AssumptionChecker",
     "BOOL",
     "BitVec",
     "BitVecSort",
@@ -79,6 +81,7 @@ __all__ = [
     "BudgetExceededError",
     "CheckResult",
     "Concat",
+    "ContextStatistics",
     "Distinct",
     "Eq",
     "EvaluationError",
@@ -100,6 +103,7 @@ __all__ = [
     "SignExt",
     "SmtError",
     "Solver",
+    "SolverContext",
     "SolverError",
     "SolverStatistics",
     "Sort",
@@ -119,8 +123,10 @@ __all__ = [
     "conjoin",
     "disjoin",
     "evaluate",
+    "intern_term",
     "is_literal_false",
     "is_literal_true",
+    "mk_term",
     "rename_variables",
     "simplify",
     "substitute",

@@ -207,7 +207,7 @@ def substitute(term: Term, bindings: dict[str, Term]) -> Term:
             if all(a is b for a, b in zip(new_args, node.args)):
                 result = node
             else:
-                result = Term(
+                result = terms.mk_term(
                     node.op,
                     new_args,
                     node.sort,

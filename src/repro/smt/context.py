@@ -1,0 +1,304 @@
+"""Incremental, assumption-based solving core.
+
+This module is the persistent counterpart of the one-shot :class:`Solver`
+facade.  A :class:`SolverContext` keeps one CNF, one bit-blaster and one
+CDCL solver alive for its whole lifetime:
+
+* every distinct (hash-consed) boolean term is Tseitin-encoded **once**,
+  the first time it is seen — repeat queries over shared constraint
+  prefixes reuse the encoding and the SAT solver's variable maps;
+* queries are decided with ``check_assumptions``: the context passes the
+  root literal of each active constraint as a CDCL assumption instead of
+  asserting unit clauses, so the clause database never has to be rebuilt
+  or retracted and **learned clauses remain valid across queries**;
+* ``push``/``pop`` scope which constraints are active.  Popping is O(1)
+  bookkeeping — the encodings stay behind for when the terms return,
+  which is exactly what happens along a symbolic-execution fork tree or
+  a DFS walk over composed pipeline routes.
+
+:class:`AssumptionChecker` layers the two services the symbex and verify
+layers need on top: *alignment* of the context's scope stack to a query's
+constraint prefix (so append-only constraint lists share work with their
+siblings), and a feasibility memo keyed on interned term uids.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .bitblast import BitBlaster
+from .cnf import CNFBuilder
+from .errors import SolverError
+from .model import Model, model_from_bits
+from .sat import SATSolver, SatResult
+from .simplify import simplify
+from .solver import CheckResult
+from .terms import Term, intern_term
+
+
+@dataclass
+class ContextStatistics:
+    """Counters describing the work of one :class:`SolverContext`."""
+
+    checks: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    terms_encoded: int = 0
+    literals_reused: int = 0
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    learned_clauses: int = 0
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "checks": self.checks,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "unknown": self.unknown,
+            "terms_encoded": self.terms_encoded,
+            "literals_reused": self.literals_reused,
+            "sat_conflicts": self.sat_conflicts,
+            "sat_decisions": self.sat_decisions,
+            "learned_clauses": self.learned_clauses,
+            "encode_seconds": self.encode_seconds,
+            "solve_seconds": self.solve_seconds,
+        }
+
+
+class SolverContext:
+    """A persistent incremental solver over the QF_BV term language.
+
+    Unlike :class:`repro.smt.solver.Solver`, which re-simplifies,
+    re-bit-blasts and re-solves the full conjunction on every ``check``,
+    a context accumulates state monotonically: the CNF only ever grows
+    (with Tseitin definitions, which are unconditionally valid), and the
+    SAT solver keeps its learned clauses, variable activities and saved
+    phases between calls.
+    """
+
+    def __init__(self, max_conflicts: Optional[int] = 200_000) -> None:
+        self._cnf = CNFBuilder()
+        self._blaster = BitBlaster(self._cnf)
+        self._sat = SATSolver(self._cnf.num_vars)
+        self._clauses_fed = 0
+        self._max_conflicts = max_conflicts
+        # Scope stack of asserted terms; scope 0 is the root and never popped.
+        self._scopes: List[List[Term]] = [[]]
+        # Interned-term uid -> (term, root literal).  Holding the term keeps
+        # every encoded subterm alive, which keeps the blaster's id-keyed
+        # caches sound.
+        self._literals: Dict[int, Tuple[Term, int]] = {}
+        self._model: Optional[Model] = None
+        self.statistics = ContextStatistics()
+
+    # -- assertion scoping ---------------------------------------------------------
+
+    def push(self) -> None:
+        """Open a new assertion scope."""
+        self._scopes.append([])
+
+    def pop(self) -> None:
+        """Deactivate the constraints of the innermost scope (O(1); encodings stay)."""
+        if len(self._scopes) == 1:
+            raise SolverError("pop() without a matching push()")
+        self._scopes.pop()
+
+    @property
+    def depth(self) -> int:
+        """Number of open scopes above the root."""
+        return len(self._scopes) - 1
+
+    def assert_term(self, *constraints: Term) -> None:
+        """Assert boolean terms in the current scope."""
+        for constraint in constraints:
+            if not isinstance(constraint, Term) or not constraint.is_bool():
+                raise SolverError(f"only boolean terms can be asserted, got {constraint!r}")
+            self._scopes[-1].append(constraint)
+
+    def assertions(self) -> List[Term]:
+        """All currently active assertions, outermost scope first."""
+        return [term for scope in self._scopes for term in scope]
+
+    # -- solving -------------------------------------------------------------------
+
+    def check_assumptions(self, *extra: Term) -> str:
+        """Decide satisfiability of the active assertions plus ``extra``.
+
+        ``extra`` terms are temporary assumptions for this call only; they
+        are encoded (and their encodings retained for reuse) but never
+        asserted.
+        """
+        started = time.perf_counter()
+        self.statistics.checks += 1
+        self._model = None
+
+        literals: List[int] = []
+        trivially_unsat = False
+        for term in self.assertions() + [t for t in extra]:
+            reduced = simplify(term)
+            if reduced.is_true():
+                continue
+            if reduced.is_false():
+                trivially_unsat = True
+                break
+            literals.append(self._literal(reduced))
+        self.statistics.encode_seconds += time.perf_counter() - started
+
+        if trivially_unsat:
+            return self._finish(CheckResult.UNSAT)
+
+        solve_started = time.perf_counter()
+        self._feed_clauses()
+        conflicts_before = self._sat.conflicts
+        decisions_before = self._sat.decisions
+        outcome = self._sat.solve(assumptions=literals, max_conflicts=self._max_conflicts)
+        self.statistics.sat_conflicts += self._sat.conflicts - conflicts_before
+        self.statistics.sat_decisions += self._sat.decisions - decisions_before
+        self.statistics.learned_clauses = self._sat.learned_clause_count
+        self.statistics.solve_seconds += time.perf_counter() - solve_started
+
+        if outcome == SatResult.SAT:
+            self._model = model_from_bits(
+                self._blaster.variable_bits(),
+                self._blaster.boolean_variables(),
+                self._sat.model(),
+            )
+            return self._finish(CheckResult.SAT)
+        if outcome == SatResult.UNSAT:
+            return self._finish(CheckResult.UNSAT)
+        return self._finish(CheckResult.UNKNOWN)
+
+    # ``check`` is an alias so the context can stand in for the scratch facade.
+    check = check_assumptions
+
+    def is_satisfiable(self, *extra: Term) -> bool:
+        return self.check_assumptions(*extra) == CheckResult.SAT
+
+    def is_unsatisfiable(self, *extra: Term) -> bool:
+        return self.check_assumptions(*extra) == CheckResult.UNSAT
+
+    def model(self) -> Model:
+        """Model of the last satisfiable check."""
+        if self._model is None:
+            raise SolverError("model() is only available after a satisfiable check")
+        return self._model
+
+    # -- internals -----------------------------------------------------------------
+
+    def _finish(self, status: str) -> str:
+        if status == CheckResult.SAT:
+            self.statistics.sat += 1
+        elif status == CheckResult.UNSAT:
+            self.statistics.unsat += 1
+        else:
+            self.statistics.unknown += 1
+        return status
+
+    def _literal(self, term: Term) -> int:
+        """Root literal of a (simplified, interned) boolean term; encoded once ever."""
+        term = intern_term(term)
+        cached = self._literals.get(term.uid)
+        if cached is not None:
+            self.statistics.literals_reused += 1
+            return cached[1]
+        literal = self._blaster.blast_bool(term)
+        self._literals[term.uid] = (term, literal)
+        self.statistics.terms_encoded += 1
+        return literal
+
+    def _feed_clauses(self) -> None:
+        """Hand newly generated CNF clauses (and variables) to the persistent SAT solver."""
+        self._sat.reserve(self._cnf.num_vars)
+        clauses = self._cnf.clauses
+        if self._clauses_fed == len(clauses):
+            return
+        self._sat.cancel()
+        for index in range(self._clauses_fed, len(clauses)):
+            self._sat.add_clause(clauses[index])
+        self._clauses_fed = len(clauses)
+
+
+class AssumptionChecker:
+    """Feasibility oracle sharing one :class:`SolverContext` across queries.
+
+    Callers hand over whole constraint lists (a path's prefix) plus query
+    terms.  The checker aligns the context's scope stack to the longest
+    common prefix with the previous query — cheap for the append-only
+    constraint lists of a fork tree or a DFS route walk — and memoizes
+    verdicts by the *set* of interned term uids, so structurally identical
+    queries (however they were reassembled) are solved once.
+    """
+
+    #: Memo entries are dropped wholesale past this size: uids are never
+    #: reused, so entries for collected terms can never be hit again.
+    MEMO_LIMIT = 100_000
+
+    def __init__(self, max_conflicts: Optional[int] = 200_000) -> None:
+        self.context = SolverContext(max_conflicts=max_conflicts)
+        self._stack: List[Term] = []
+        # Verdicts only — models are not pinned here; a SAT repeat that
+        # needs one re-solves on the warm context instead.
+        self._memo: Dict[frozenset, str] = {}
+        self.memo_hits = 0
+        self.checks = 0
+
+    # -- prefix alignment ----------------------------------------------------------
+
+    def align(self, constraints: Sequence[Term]) -> None:
+        """Re-derive the context's scope stack for this constraint prefix.
+
+        One scope per constraint: sibling paths that share a prefix of
+        length p keep p scopes (and their encodings) and only push/pop the
+        divergent suffix.
+        """
+        common = 0
+        for current, wanted in zip(self._stack, constraints):
+            if current is not wanted and intern_term(current) is not intern_term(wanted):
+                break
+            common += 1
+        while len(self._stack) > common:
+            self.context.pop()
+            self._stack.pop()
+        for term in constraints[common:]:
+            self.context.push()
+            self.context.assert_term(term)
+            self._stack.append(term)
+
+    # -- querying ------------------------------------------------------------------
+
+    def check(
+        self, constraints: Sequence[Term], extra: Sequence[Term] = (), need_model: bool = False
+    ) -> Tuple[str, Optional[Model]]:
+        """Decide ``constraints ∧ extra``; returns (status, model-or-None).
+
+        Pass ``need_model=True`` when the caller will consume the model of a
+        satisfiable check; a memoized SAT verdict then re-solves (cheap on
+        the warm context) instead of returning a pinned model.
+        """
+        self.checks += 1
+        key = frozenset(
+            intern_term(term).uid for term in list(constraints) + list(extra)
+        )
+        cached = self._memo.get(key)
+        if cached is not None and not (need_model and cached == CheckResult.SAT):
+            self.memo_hits += 1
+            return cached, None
+        self.align(constraints)
+        status = self.context.check_assumptions(*extra)
+        model = self.context.model() if need_model and status == CheckResult.SAT else None
+        if len(self._memo) >= self.MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[key] = status
+        return status, model
+
+    def is_feasible(self, constraints: Sequence[Term], extra: Sequence[Term] = ()) -> bool:
+        return self.check(constraints, extra)[0] == CheckResult.SAT
+
+    @property
+    def statistics(self) -> ContextStatistics:
+        return self.context.statistics

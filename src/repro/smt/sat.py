@@ -59,8 +59,23 @@ class SATSolver:
     def num_vars(self) -> int:
         return self._num_vars
 
+    def reserve(self, num_vars: int) -> None:
+        """Grow the variable tables to ``num_vars``.
+
+        Needed by incremental callers whose assumption literals mention
+        variables that appear in no clause (a blasted term can reduce to a
+        bare input bit).
+        """
+        self._ensure_vars(num_vars)
+
     def add_clause(self, literals: Sequence[int]) -> bool:
-        """Add a clause.  Returns False if the formula became trivially unsatisfiable."""
+        """Add a clause.  Returns False if the formula became trivially unsatisfiable.
+
+        Callers adding clauses to a solver that has already run must
+        :meth:`cancel` first; literals decided at the root level are
+        simplified away here (they are permanent), which keeps the
+        two-watched-literal invariant for incrementally added clauses.
+        """
         if not self._ok:
             return False
         seen: set[int] = set()
@@ -69,6 +84,11 @@ class SATSolver:
             if lit == 0:
                 raise ValueError("0 is not a valid literal")
             self._ensure_vars(abs(lit))
+            value = self._lit_value(lit)
+            if value != UNASSIGNED and self._level[abs(lit)] == 0:
+                if value == TRUE:
+                    return True  # satisfied at the root forever
+                continue  # permanently false literal: drop it
             if -lit in seen:
                 return True  # tautology: always satisfied, skip
             if lit in seen:
@@ -99,7 +119,9 @@ class SATSolver:
         """Solve the formula, optionally under assumptions and a conflict budget.
 
         Returns one of :class:`SatResult`'s values.  ``UNKNOWN`` is only
-        returned when ``max_conflicts`` is exhausted.
+        returned when ``max_conflicts`` is exhausted.  The budget applies to
+        *this* call: on a persistent solver the conflicts of earlier queries
+        do not count against it.
         """
         if not self._ok:
             return SatResult.UNSAT
@@ -111,6 +133,7 @@ class SATSolver:
 
         restart_limit = 64
         conflicts_since_restart = 0
+        conflict_budget = None if max_conflicts is None else self.conflicts + max_conflicts
         assumptions = list(assumptions)
 
         while True:
@@ -125,7 +148,7 @@ class SATSolver:
                 self._backtrack(backjump_level)
                 self._record_learned(learned)
                 self._decay_activities()
-                if max_conflicts is not None and self.conflicts >= max_conflicts:
+                if conflict_budget is not None and self.conflicts >= conflict_budget:
                     self._backtrack(0)
                     return SatResult.UNKNOWN
                 if conflicts_since_restart >= restart_limit:
@@ -165,6 +188,20 @@ class SATSolver:
     def model(self) -> List[bool]:
         """Return the satisfying assignment as a list indexed by variable (index 0 unused)."""
         return [value == TRUE for value in self._assign]
+
+    def cancel(self) -> None:
+        """Undo all decisions and assumptions, keeping clauses and heuristics.
+
+        Incremental callers must cancel before adding clauses so that watch
+        initialisation and root-level unit enqueueing see only the permanent
+        (level-0) assignment.
+        """
+        self._backtrack(0)
+
+    @property
+    def learned_clause_count(self) -> int:
+        """Learned clauses currently retained (reused by later incremental calls)."""
+        return len(self._learned)
 
     def value(self, var: int) -> bool:
         """Truth value of a variable in the current model (False if unassigned)."""

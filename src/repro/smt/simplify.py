@@ -15,6 +15,7 @@ from .terms import (
     TRUE,
     Op,
     Term,
+    intern_term,
     mk_and,
     mk_bv_const,
     mk_cmp,
@@ -24,29 +25,40 @@ from .terms import (
     mk_ite,
     mk_not,
     mk_or,
+    mk_term,
 )
 
 
 def simplify(term: Term) -> Term:
-    """Return a simplified term equivalent to ``term``."""
-    cache: dict[int, Term] = {}
+    """Return a simplified term equivalent to ``term``.
+
+    Results are memoized on the (hash-consed) term itself, so a shared
+    subterm — and terms re-simplified across solver queries — are rewritten
+    once per process rather than once per call.
+    """
 
     def walk(node: Term) -> Term:
-        hit = cache.get(id(node))
+        hit = node._simplified
         if hit is not None:
             return hit
         if not node.args:
-            cache[id(node)] = node
-            return node
-        new_args = tuple(walk(arg) for arg in node.args)
-        if all(a is b for a, b in zip(new_args, node.args)):
-            rebuilt = node
+            result = intern_term(node)
         else:
-            rebuilt = Term(
-                node.op, new_args, node.sort, value=node.value, name=node.name, params=node.params
-            )
-        result = _rewrite(rebuilt)
-        cache[id(node)] = result
+            new_args = tuple(walk(arg) for arg in node.args)
+            if node._interned and all(a is b for a, b in zip(new_args, node.args)):
+                rebuilt = node
+            else:
+                rebuilt = mk_term(
+                    node.op,
+                    new_args,
+                    node.sort,
+                    value=node.value,
+                    name=node.name,
+                    params=node.params,
+                )
+            result = _rewrite(rebuilt)
+        node._simplified = result
+        result._simplified = result
         return result
 
     return walk(term)
@@ -100,21 +112,22 @@ def _rw_not(node: Term) -> Term:
 
 
 def _rw_and(node: Term) -> Term:
+    # Hash-consing makes dedup and complement detection O(1) integer-set
+    # lookups: structurally equal conjuncts share one uid.
     kept: list[Term] = []
-    seen: set[str] = set()
+    seen: set[int] = set()
     for arg in node.args:
         if arg.is_true():
             continue
         if arg.is_false():
             return FALSE
-        key = arg.to_sexpr(max_depth=16)
-        if key in seen:
+        arg = intern_term(arg)
+        if arg.uid in seen:
             continue
-        seen.add(key)
+        seen.add(arg.uid)
         # a ∧ ¬a  →  false
         negated = mk_not(arg) if arg.op != Op.NOT else arg.args[0]
-        neg_key = negated.to_sexpr(max_depth=16)
-        if neg_key in seen:
+        if negated.uid in seen:
             return FALSE
         kept.append(arg)
     if not kept:
@@ -126,18 +139,18 @@ def _rw_and(node: Term) -> Term:
 
 def _rw_or(node: Term) -> Term:
     kept: list[Term] = []
-    seen: set[str] = set()
+    seen: set[int] = set()
     for arg in node.args:
         if arg.is_false():
             continue
         if arg.is_true():
             return TRUE
-        key = arg.to_sexpr(max_depth=16)
-        if key in seen:
+        arg = intern_term(arg)
+        if arg.uid in seen:
             continue
-        seen.add(key)
+        seen.add(arg.uid)
         negated = mk_not(arg) if arg.op != Op.NOT else arg.args[0]
-        if negated.to_sexpr(max_depth=16) in seen:
+        if negated.uid in seen:
             return TRUE
         kept.append(arg)
     if not kept:
@@ -276,7 +289,7 @@ def _rw_add(node: Term) -> Term:
     # arithmetic collapses.
     if a.op == Op.BV_ADD and a.args[1].op == Op.BV_CONST and b.op == Op.BV_CONST:
         folded = mk_bv_const(int(a.args[1].value) + int(b.value), node.width)  # type: ignore[arg-type]
-        return _rw_add(Term(Op.BV_ADD, (a.args[0], folded), node.sort))
+        return _rw_add(mk_term(Op.BV_ADD, (a.args[0], folded), node.sort))
     return node
 
 
@@ -352,20 +365,22 @@ def _rw_extract(node: Term) -> Term:
     hi, lo = node.params
     if hi == arg.width - 1 and lo == 0:
         return arg
+    # Rebuilt extracts are re-rewritten so e.g. extract-of-concat that lands
+    # exactly on one operand reduces all the way to the operand itself.
     # extract of extract composes.
     if arg.op == Op.BV_EXTRACT:
         inner_hi, inner_lo = arg.params
-        return mk_extract(arg.args[0], inner_lo + hi, inner_lo + lo)
+        return _rw_extract(mk_extract(arg.args[0], inner_lo + hi, inner_lo + lo))
     # extract of a concat that falls entirely inside one operand.
     if arg.op == Op.BV_CONCAT:
         offset = 0
         for child in reversed(arg.args):  # operands are MSB-first; walk from LSB
             if lo >= offset and hi < offset + child.width:
-                return mk_extract(child, hi - offset, lo - offset)
+                return _rw_extract(mk_extract(child, hi - offset, lo - offset))
             offset += child.width
     # extract of zero-extension that stays within the original operand.
     if arg.op == Op.BV_ZEXT and hi < arg.args[0].width:
-        return mk_extract(arg.args[0], hi, lo)
+        return _rw_extract(mk_extract(arg.args[0], hi, lo))
     if arg.op == Op.BV_ZEXT and lo >= arg.args[0].width:
         return mk_bv_const(0, hi - lo + 1)
     return node

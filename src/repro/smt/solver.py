@@ -71,12 +71,14 @@ class _CachedAnswer:
 
 
 class Solver:
-    """Incremental-looking solver over the QF_BV term language.
+    """Scratch-mode solver facade over the QF_BV term language.
 
-    The solver is "incremental-looking" rather than truly incremental: each
-    ``check()`` builds a fresh CNF for the current assertion set.  That is the
-    right trade-off here — verifier queries are many, small, and independent,
-    and the per-query cache absorbs the repetition.
+    Each ``check()`` builds a fresh CNF for the current assertion set; the
+    per-query cache absorbs exact repetition.  This is the from-scratch
+    baseline kept for differential testing — production callers use the
+    truly incremental :class:`repro.smt.context.SolverContext`, which
+    retains the bit-blasted CNF, variable maps and learned clauses across
+    checks instead of rebuilding per query.
     """
 
     def __init__(self, max_conflicts: Optional[int] = 200_000, enable_cache: bool = True) -> None:

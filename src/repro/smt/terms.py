@@ -9,10 +9,22 @@ The module also gives bitvector terms the usual Python operator
 overloads (``a + b``, ``a & b``, ``a == b`` builds an *equation term*,
 etc.), which is the style the rest of the code base uses to state
 constraints.
+
+Terms are **hash-consed**: every constructor routes through
+:func:`mk_term`, which interns structurally identical nodes into one
+shared instance.  Interned terms carry a process-unique ``uid``, so
+structural equality between interned terms is an ``is`` check, constraint
+sets deduplicate by integer id, and downstream caches (the simplifier,
+the bit-blaster, the feasibility memo) key on ``uid`` in O(1) instead of
+rendering s-expressions.  The intern table holds weak references so terms
+no longer reachable from live constraints can be collected; ``uid``s are
+never reused.
 """
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from .errors import InvalidTermError, SortMismatchError
@@ -102,9 +114,24 @@ class Term:
         value: constant value for ``BV_CONST`` / ``BOOL_CONST`` leaves.
         name: variable name for ``BV_VAR`` / ``BOOL_VAR`` leaves.
         params: static parameters (extract bounds, extension widths).
+        uid: process-unique integer id, assigned at construction and never
+            reused.  Interned (canonical) terms share one uid per
+            structural shape, which is what makes uid-keyed caches sound.
     """
 
-    __slots__ = ("op", "args", "sort", "value", "name", "params", "_hash")
+    __slots__ = (
+        "op",
+        "args",
+        "sort",
+        "value",
+        "name",
+        "params",
+        "uid",
+        "_hash",
+        "_interned",
+        "_simplified",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -121,7 +148,10 @@ class Term:
         self.value = value
         self.name = name
         self.params = tuple(params)
+        self.uid = next(_UID_COUNTER)
         self._hash = hash((self.op, self.args, self.sort, self.value, self.name, self.params))
+        self._interned = False
+        self._simplified: Optional["Term"] = None
 
     # -- identity -----------------------------------------------------------------
 
@@ -157,6 +187,9 @@ class Term:
         """True if ``self`` and ``other`` are the same term structurally."""
         if self is other:
             return True
+        if self._interned and other._interned:
+            # Interned terms are canonical: distinct instances differ structurally.
+            return False
         return (
             self._hash == other._hash
             and self.op == other.op
@@ -324,6 +357,65 @@ class Term:
         return mk_cmp(Op.ULE, self._coerce(other), self)
 
 
+# -- hash-consing -------------------------------------------------------------------
+
+_UID_COUNTER = itertools.count(1)
+
+#: Intern table mapping a structural key to the canonical term instance.
+#: Values are weakly referenced: a shape no live constraint reaches is
+#: collectable, and its entry disappears with it.  Keys embed child *uids*
+#: (never ``id()``), so a collected child cannot alias a new one.
+_INTERN_TABLE: "weakref.WeakValueDictionary[tuple, Term]" = weakref.WeakValueDictionary()
+
+
+def _intern_key(
+    op: str,
+    args: tuple,
+    sort: Sort,
+    value: Optional[Union[int, bool]],
+    name: Optional[str],
+    params: tuple,
+) -> tuple:
+    return (op, tuple(arg.uid for arg in args), sort, value, name, params)
+
+
+def mk_term(
+    op: str,
+    args: Sequence[Term] = (),
+    sort: Optional[Sort] = None,
+    value: Optional[Union[int, bool]] = None,
+    name: Optional[str] = None,
+    params: Sequence[int] = (),
+) -> Term:
+    """Build (or look up) the canonical interned term for the given shape."""
+    canonical_args = tuple(
+        arg if arg._interned else intern_term(arg) for arg in args
+    )
+    resolved_sort = sort if sort is not None else BOOL
+    key = _intern_key(op, canonical_args, resolved_sort, value, name, tuple(params))
+    hit = _INTERN_TABLE.get(key)
+    if hit is not None:
+        return hit
+    term = Term(op, canonical_args, resolved_sort, value=value, name=name, params=params)
+    term._interned = True
+    _INTERN_TABLE[key] = term
+    return term
+
+
+def intern_term(term: Term) -> Term:
+    """Return the canonical instance structurally equal to ``term``.
+
+    ``intern_term(a) is intern_term(b)`` holds iff ``a`` and ``b`` are
+    structurally equal.  Terms built through the public constructors are
+    already interned and come back unchanged.
+    """
+    if term._interned:
+        return term
+    return mk_term(
+        term.op, term.args, term.sort, value=term.value, name=term.name, params=term.params
+    )
+
+
 # -- constructors -------------------------------------------------------------------
 
 
@@ -332,13 +424,13 @@ def mk_bv_const(value: int, width: int) -> Term:
     if not isinstance(value, int):
         raise InvalidTermError(f"bitvector constant must be an int, got {value!r}")
     sort = bitvec(width)
-    return Term(Op.BV_CONST, (), sort, value=value & sort.mask)
+    return mk_term(Op.BV_CONST, (), sort, value=value & sort.mask)
 
 
 def mk_bv_var(name: str, width: int) -> Term:
     if not name:
         raise InvalidTermError("bitvector variable needs a non-empty name")
-    return Term(Op.BV_VAR, (), bitvec(width), name=name)
+    return mk_term(Op.BV_VAR, (), bitvec(width), name=name)
 
 
 def mk_bool_const(value: bool) -> Term:
@@ -348,7 +440,7 @@ def mk_bool_const(value: bool) -> Term:
 def mk_bool_var(name: str) -> Term:
     if not name:
         raise InvalidTermError("boolean variable needs a non-empty name")
-    return Term(Op.BOOL_VAR, (), BOOL, name=name)
+    return mk_term(Op.BOOL_VAR, (), BOOL, name=name)
 
 
 def _require_bv(term: Term, what: str) -> None:
@@ -370,29 +462,29 @@ def _require_same_width(a: Term, b: Term, what: str) -> None:
 
 def mk_bv_binop(op: str, a: Term, b: Term) -> Term:
     _require_same_width(a, b, op)
-    return Term(op, (a, b), a.sort)
+    return mk_term(op, (a, b), a.sort)
 
 
 def mk_bv_unop(op: str, a: Term) -> Term:
     _require_bv(a, op)
-    return Term(op, (a,), a.sort)
+    return mk_term(op, (a,), a.sort)
 
 
 def mk_cmp(op: str, a: Term, b: Term) -> Term:
     _require_same_width(a, b, op)
-    return Term(op, (a, b), BOOL)
+    return mk_term(op, (a, b), BOOL)
 
 
 def mk_eq(a: Term, b: Term) -> Term:
     if a.is_bool() and b.is_bool():
-        return Term(Op.IFF, (a, b), BOOL)
+        return mk_term(Op.IFF, (a, b), BOOL)
     _require_same_width(a, b, "=")
-    return Term(Op.EQ, (a, b), BOOL)
+    return mk_term(Op.EQ, (a, b), BOOL)
 
 
 def mk_not(a: Term) -> Term:
     _require_bool(a, "not")
-    return Term(Op.NOT, (a,), BOOL)
+    return mk_term(Op.NOT, (a,), BOOL)
 
 
 def _flatten(op: str, terms: Iterable[Term]) -> list[Term]:
@@ -412,7 +504,7 @@ def mk_and(*terms: Term) -> Term:
         return TRUE
     if len(flat) == 1:
         return flat[0]
-    return Term(Op.AND, flat, BOOL)
+    return mk_term(Op.AND, flat, BOOL)
 
 
 def mk_or(*terms: Term) -> Term:
@@ -421,27 +513,27 @@ def mk_or(*terms: Term) -> Term:
         return FALSE
     if len(flat) == 1:
         return flat[0]
-    return Term(Op.OR, flat, BOOL)
+    return mk_term(Op.OR, flat, BOOL)
 
 
 def mk_xor(a: Term, b: Term) -> Term:
     _require_bool(a, "xor")
     _require_bool(b, "xor")
-    return Term(Op.XOR, (a, b), BOOL)
+    return mk_term(Op.XOR, (a, b), BOOL)
 
 
 def mk_implies(a: Term, b: Term) -> Term:
     _require_bool(a, "=>")
     _require_bool(b, "=>")
-    return Term(Op.IMPLIES, (a, b), BOOL)
+    return mk_term(Op.IMPLIES, (a, b), BOOL)
 
 
 def mk_ite(cond: Term, then: Term, other: Term) -> Term:
     _require_bool(cond, "ite condition")
     if then.is_bool() and other.is_bool():
-        return Term(Op.BOOL_ITE, (cond, then, other), BOOL)
+        return mk_term(Op.BOOL_ITE, (cond, then, other), BOOL)
     _require_same_width(then, other, "ite")
-    return Term(Op.BV_ITE, (cond, then, other), then.sort)
+    return mk_term(Op.BV_ITE, (cond, then, other), then.sort)
 
 
 def mk_concat(*terms: Term) -> Term:
@@ -453,7 +545,7 @@ def mk_concat(*terms: Term) -> Term:
     if len(terms) == 1:
         return terms[0]
     total = sum(term.width for term in terms)
-    return Term(Op.BV_CONCAT, terms, bitvec(total))
+    return mk_term(Op.BV_CONCAT, terms, bitvec(total))
 
 
 def mk_extract(term: Term, hi: int, lo: int) -> Term:
@@ -463,7 +555,7 @@ def mk_extract(term: Term, hi: int, lo: int) -> Term:
         raise InvalidTermError(
             f"extract bounds [{hi}:{lo}] out of range for width {term.width}"
         )
-    return Term(Op.BV_EXTRACT, (term,), bitvec(hi - lo + 1), params=(hi, lo))
+    return mk_term(Op.BV_EXTRACT, (term,), bitvec(hi - lo + 1), params=(hi, lo))
 
 
 def mk_zero_extend(term: Term, extra: int) -> Term:
@@ -472,7 +564,7 @@ def mk_zero_extend(term: Term, extra: int) -> Term:
         raise InvalidTermError("zero-extend amount must be non-negative")
     if extra == 0:
         return term
-    return Term(Op.BV_ZEXT, (term,), bitvec(term.width + extra), params=(extra,))
+    return mk_term(Op.BV_ZEXT, (term,), bitvec(term.width + extra), params=(extra,))
 
 
 def mk_sign_extend(term: Term, extra: int) -> Term:
@@ -481,9 +573,9 @@ def mk_sign_extend(term: Term, extra: int) -> Term:
         raise InvalidTermError("sign-extend amount must be non-negative")
     if extra == 0:
         return term
-    return Term(Op.BV_SEXT, (term,), bitvec(term.width + extra), params=(extra,))
+    return mk_term(Op.BV_SEXT, (term,), bitvec(term.width + extra), params=(extra,))
 
 
 #: Shared boolean constants.
-TRUE = Term(Op.BOOL_CONST, (), BOOL, value=True)
-FALSE = Term(Op.BOOL_CONST, (), BOOL, value=False)
+TRUE = mk_term(Op.BOOL_CONST, (), BOOL, value=True)
+FALSE = mk_term(Op.BOOL_CONST, (), BOOL, value=False)

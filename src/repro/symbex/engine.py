@@ -78,6 +78,12 @@ class SymbexOptions:
     static_table_mode: str = StaticTableMode.CONCRETE
     solver_max_conflicts: Optional[int] = 200_000
     prune_infeasible_branches: bool = True
+    #: Use the incremental assumption-based solver core: one persistent
+    #: context per engine, aligned to each path's constraint prefix, with a
+    #: feasibility memo keyed on interned constraint-set ids.  Scratch mode
+    #: (``False``) re-solves every query from nothing and is kept for
+    #: differential testing.
+    incremental: bool = True
 
 
 class SymbolicEngine:
@@ -87,6 +93,13 @@ class SymbolicEngine:
         self.options = options or SymbexOptions()
         self.solver = solver if solver is not None else smt.Solver(
             max_conflicts=self.options.solver_max_conflicts
+        )
+        # Injecting an explicit scratch solver opts out of incremental mode:
+        # callers doing so want every query to go through that instance.
+        self.checker: Optional[smt.AssumptionChecker] = (
+            smt.AssumptionChecker(max_conflicts=self.options.solver_max_conflicts)
+            if self.options.incremental and solver is None
+            else None
         )
         self.solver_checks = 0
         self._havoc_counter = 0
@@ -150,6 +163,8 @@ class SymbolicEngine:
             summary.segments.append(summarize_path(name, index, state))
         summary.paths_explored = len(states)
         summary.solver_checks = self.solver_checks
+        summary.incremental = self.checker is not None
+        summary.feasibility_memo_hits = self.checker.memo_hits if self.checker else 0
         summary.elapsed_seconds = time.perf_counter() - started
         return summary
 
@@ -565,9 +580,14 @@ class SymbolicEngine:
 
     def _is_feasible(self, state: PathState, *extra: Term) -> bool:
         self.solver_checks += 1
-        constraints = list(state.constraints) + [smt.simplify(term) for term in extra]
-        if not constraints:
+        if not state.constraints and not extra:
             return True
+        if self.checker is not None:
+            # Incremental: the shared context re-derives the scope stack for
+            # this path's constraint prefix (a fork only diverges in its
+            # suffix) and decides the query as one assumption check.
+            return self.checker.is_feasible(state.constraints, extra)
+        constraints = list(state.constraints) + [smt.simplify(term) for term in extra]
         goal = smt.conjoin(constraints)
         return self.solver.check(goal) == smt.CheckResult.SAT
 

@@ -8,25 +8,34 @@ packet — and composes the per-iteration results, the same move as pipeline
 decomposition one level down.
 
 This module implements that analysis for the bounded ``While`` loops of
-the IR: it extracts the loop body as a standalone program, symbexes one
-iteration with havoc'd loop-carried registers, and reports
+the IR: it symbexes one iteration as a mini-element and reports
 
 * the per-iteration segment count (vs. the multiplicative growth of naive
   unrolling),
 * whether any single iteration can crash on its own, and
 * a per-iteration instruction bound, giving the loop-wide bound
   ``max_iterations * per_iteration_bound``.
+
+The iteration is *not* analysed in a vacuum: the program prefix leading to
+the loop head executes first (so path facts the element established before
+the loop — header-fits-in-packet checks, register definitions — hold), the
+registers the loop itself mutates are havoc'd, and simple **stride
+invariants** are inferred for constant-step counters (``r := r + c`` with a
+constant initialiser ``r := c0`` implies ``(r - c0) mod c == 0``).  That
+combination is what lets a checksum loop reading two bytes per step be
+proved crash-free per-iteration.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import smt
-from ..ir.exprs import Expr, Reg
+from ..ir.exprs import BinaryOperator, BinOp, Const, Expr, Reg
 from ..ir.program import ElementProgram
-from ..ir.stmts import Assign, Emit, If, Stmt, TableRead, While, collect_statements
+from ..ir.stmts import Assign, Emit, If, SetMeta, Stmt, TableRead, While, collect_statements
 from .engine import SymbexOptions, SymbolicEngine
 from .segment import ElementSummary, SegmentOutcome
 from .state import SymbolicPacket
@@ -61,6 +70,10 @@ class LoopSummary:
         )
 
 
+#: Metadata key marking segments of an iteration program that reached the loop head.
+ITERATION_MARKER = "__loop_iteration"
+
+
 def _loop_carried_registers(loop: While) -> Set[str]:
     """Registers read by the loop condition or body (the mini-element's inputs)."""
     names: Set[str] = set()
@@ -80,21 +93,207 @@ def _loop_carried_registers(loop: While) -> Set[str]:
     return names
 
 
+def _registers_assigned_in(stmts: Iterable[Stmt]) -> Set[str]:
+    """Registers written by any of the given statements."""
+    names: Set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            names.add(stmt.dst)
+        elif isinstance(stmt, TableRead):
+            names.add(stmt.dst_value)
+            names.add(stmt.dst_found)
+    return names
+
+
+def _prefix_statements(parent: ElementProgram, loop: While) -> List[Stmt]:
+    """All statements that appear before ``loop`` in pre-order."""
+    prefix: List[Stmt] = []
+    for stmt in collect_statements(parent.body):
+        if stmt is loop:
+            return prefix
+        prefix.append(stmt)
+    return prefix
+
+
+def _dominating_statements(block: Sequence[Stmt], loop: While) -> Optional[List[Stmt]]:
+    """Straight-line statements that execute on *every* path to the loop head.
+
+    These are the statements before the loop in its own block and before
+    each enclosing statement on the chain to it — excluding anything nested
+    inside a branch, which only executes conditionally.  Returns None when
+    ``loop`` is not in ``block``.
+    """
+    straight: List[Stmt] = []
+    for stmt in block:
+        if stmt is loop:
+            return straight
+        for child in stmt.children_blocks():
+            nested = _dominating_statements(child, loop)
+            if nested is not None:
+                return straight + nested
+        straight.append(stmt)
+    return None
+
+
+def _replace_loop(
+    block: Sequence[Stmt], loop: While, replacement: Sequence[Stmt]
+) -> Tuple[Tuple[Stmt, ...], bool]:
+    """Return ``block`` with ``loop`` (matched by identity) replaced in place."""
+    rebuilt: List[Stmt] = []
+    found = False
+    for stmt in block:
+        if stmt is loop:
+            rebuilt.extend(replacement)
+            found = True
+            continue
+        if not found and isinstance(stmt, If):
+            then, hit_then = _replace_loop(stmt.then, loop, replacement)
+            orelse, hit_else = _replace_loop(stmt.orelse, loop, replacement)
+            if hit_then or hit_else:
+                stmt = If(stmt.cond, then, orelse)
+                found = True
+        elif not found and isinstance(stmt, While):
+            inner, hit = _replace_loop(stmt.body, loop, replacement)
+            if hit:
+                stmt = While(stmt.cond, inner, stmt.max_iterations, stmt.loop_id)
+                found = True
+        rebuilt.append(stmt)
+    return tuple(rebuilt), found
+
+
+def _stride_invariant(
+    loop: While,
+    prefix: Sequence[Stmt],
+    dominating: Sequence[Stmt],
+    register: str,
+) -> Optional[Expr]:
+    """Infer ``(register - c0) mod stride == 0`` for constant-step counters.
+
+    Applies when every in-loop assignment to ``register`` has the shape
+    ``register := register + <const>`` and the initialiser is a constant
+    assignment that **dominates** the loop head, with no conditional
+    assignment to the register anywhere before the loop (an initialiser
+    inside one branch of an If says nothing about the other branch).  The
+    congruence then holds for every value the counter can take at the loop
+    head (including under 64-bit wraparound), which is the fact that makes
+    e.g. two-byte checksum strides provably in-bounds.
+    """
+    strides: List[int] = []
+    for stmt in collect_statements(loop.body):
+        if not isinstance(stmt, Assign) or stmt.dst != register:
+            continue
+        expr = stmt.expr
+        if (
+            isinstance(expr, BinOp)
+            and expr.op == BinaryOperator.ADD
+            and isinstance(expr.left, Reg)
+            and expr.left.name == register
+            and isinstance(expr.right, Const)
+        ):
+            strides.append(expr.right.value)
+        else:
+            return None
+    stride = math.gcd(*strides) if strides else 0
+    if stride <= 1:
+        return None
+    dominating_set = {id(stmt) for stmt in dominating}
+    initial: Optional[int] = None
+    for stmt in prefix:
+        if isinstance(stmt, Assign) and stmt.dst == register:
+            if id(stmt) not in dominating_set:
+                return None  # conditional write: the loop-head value is path-dependent
+            initial = stmt.expr.value if isinstance(stmt.expr, Const) else None
+    if initial is None:
+        return None
+    offset_from_init = BinOp(BinaryOperator.SUB, Reg(register), Const(initial))
+    return BinOp(
+        BinaryOperator.EQ,
+        BinOp(BinaryOperator.UREM, offset_from_init, Const(stride)),
+        Const(0),
+    )
+
+
 def build_iteration_program(
     parent: ElementProgram, loop: While, name_suffix: str = "iteration"
 ) -> ElementProgram:
-    """Extract one loop iteration as a standalone mini-element program.
+    """Extract one loop iteration as a mini-element program, in context.
 
-    The loop-carried registers become program inputs: each is initialised
-    from a havoc'd (symbolic, unconstrained) private-table read, which is
-    precisely "this register may hold anything a previous iteration could
-    have left in it".  The body then runs once, guarded by the loop
-    condition, and the mini-element emits.
+    The parent program runs unchanged up to the loop head, so every path
+    fact it establishes on the way (rejected malformed inputs, register
+    definitions like a header length) still holds.  At the loop site, the
+    registers the loop body mutates are re-initialised from havoc'd
+    (symbolic, unconstrained) private-table reads — "this register may hold
+    anything a previous iteration could have left in it" — restricted by
+    any inferred stride invariant, the body runs once guarded by the loop
+    condition, and the mini-element emits.  Statements after the loop are
+    unreachable (the iteration terminates first).
+    """
+    carried = _loop_carried_registers(loop)
+    assigned_in_body = _registers_assigned_in(collect_statements(loop.body))
+    prefix = _prefix_statements(parent, loop)
+    dominating = _dominating_statements(parent.body, loop) or []
+    assigned_in_prefix = _registers_assigned_in(prefix)
+    havoc_registers = sorted(
+        (carried & assigned_in_body) | (carried - assigned_in_body - assigned_in_prefix)
+    )
+
+    table_name = "__loop_inputs"
+    replacement: List[Stmt] = []
+    for index, register in enumerate(havoc_registers):
+        replacement.append(TableRead(table_name, index, register, f"__{register}_present"))
+    iteration: List[Stmt] = [
+        # Paths carrying this marker are genuine loop-head states (past any
+        # invariant guard): summarize_loop uses it to separate iteration
+        # segments from prefix segments.
+        SetMeta(ITERATION_MARKER, Const(1)),
+        If(loop.cond, list(loop.body), [Emit(0)]),
+        Emit(0),
+    ]
+    invariants = [
+        invariant
+        for register in havoc_registers
+        if (invariant := _stride_invariant(loop, prefix, dominating, register)) is not None
+    ]
+    if invariants:
+        conjunction = invariants[0]
+        for invariant in invariants[1:]:
+            conjunction = BinOp(BinaryOperator.AND, conjunction, invariant)
+        # An If, not an Assert: havoc values outside the invariant are
+        # unreachable loop-head states, to be discarded rather than reported.
+        replacement.append(If(conjunction, iteration, [Emit(0)]))
+        replacement.append(Emit(0))
+    else:
+        replacement.extend(iteration)
+
+    body, found = _replace_loop(parent.body, loop, replacement)
+    if not found:
+        raise ValueError(f"loop {loop.loop_id} is not part of program {parent.name}")
+    tables = dict(parent.tables)
+    from ..ir.program import TableDeclaration
+
+    tables[table_name] = TableDeclaration(
+        name=table_name, kind="private", description="havoc'd loop-carried registers"
+    )
+    return ElementProgram(
+        name=f"{parent.name}.{loop.loop_id}.{name_suffix}",
+        body=body,
+        tables=tables,
+        num_output_ports=max(parent.num_output_ports, 1),
+        description=f"one iteration of loop {loop.loop_id} of {parent.name}",
+    )
+
+
+def _build_vacuum_iteration(parent: ElementProgram, loop: While) -> ElementProgram:
+    """One iteration with *no* program prefix: havoc'd inputs, guard, body.
+
+    Used only for the per-iteration instruction bound — unlike the
+    in-context program, its instruction counts contain nothing but the
+    iteration itself, so multiplying by ``max_iterations`` does not also
+    multiply the cost of reaching the loop.
     """
     body: List[Stmt] = []
-    carried = sorted(_loop_carried_registers(loop))
     table_name = "__loop_inputs"
-    for index, register in enumerate(carried):
+    for index, register in enumerate(sorted(_loop_carried_registers(loop))):
         body.append(TableRead(table_name, index, register, f"__{register}_present"))
     body.append(If(loop.cond, list(loop.body), [Emit(0)]))
     body.append(Emit(0))
@@ -105,11 +304,11 @@ def build_iteration_program(
         name=table_name, kind="private", description="havoc'd loop-carried registers"
     )
     return ElementProgram(
-        name=f"{parent.name}.{loop.loop_id}.{name_suffix}",
+        name=f"{parent.name}.{loop.loop_id}.vacuum-iteration",
         body=tuple(body),
         tables=tables,
         num_output_ports=max(parent.num_output_ports, 1),
-        description=f"one iteration of loop {loop.loop_id} of {parent.name}",
+        description=f"one context-free iteration of loop {loop.loop_id} of {parent.name}",
     )
 
 
@@ -120,7 +319,15 @@ def summarize_loop(
     tables: Optional[Dict[str, object]] = None,
     options: Optional[SymbexOptions] = None,
 ) -> LoopSummary:
-    """Analyse a loop by symbolically executing a single iteration."""
+    """Analyse a loop by symbolically executing a single iteration.
+
+    Segment and crash counts come from the in-context iteration program
+    (prefix facts and stride invariants applied), restricted to segments
+    that actually reached the loop head; prefix-only segments — rejects or
+    crashes before the loop — are the enclosing element's business and are
+    not attributed to the iteration.  The instruction bound comes from a
+    context-free iteration so it scales with the body alone.
+    """
     iteration_program = build_iteration_program(program, loop)
     engine = SymbolicEngine(options or SymbexOptions())
     summary = engine.summarize_element(
@@ -129,12 +336,24 @@ def summarize_loop(
         tables=tables,
         element_name=iteration_program.name,
     )
-    crash_count = len(summary.crash_segments)
-    per_iteration_max = summary.max_instructions
+    iteration_segments = [
+        segment for segment in summary.segments if ITERATION_MARKER in segment.output_metadata
+    ]
+    crash_count = sum(1 for segment in iteration_segments if segment.crashes)
+
+    vacuum_program = _build_vacuum_iteration(program, loop)
+    vacuum_engine = SymbolicEngine(options or SymbexOptions())
+    vacuum_summary = vacuum_engine.summarize_element(
+        vacuum_program,
+        input_length,
+        tables=tables,
+        element_name=vacuum_program.name,
+    )
+    per_iteration_max = vacuum_summary.max_instructions
     return LoopSummary(
         loop_id=loop.loop_id,
         max_iterations=loop.max_iterations,
-        segments_per_iteration=len(summary.segments),
+        segments_per_iteration=len(iteration_segments),
         crash_segments_per_iteration=crash_count,
         max_instructions_per_iteration=per_iteration_max,
         loop_instruction_bound=per_iteration_max * loop.max_iterations,

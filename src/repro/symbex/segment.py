@@ -127,6 +127,10 @@ class ElementSummary:
     segments: List[SegmentSummary] = field(default_factory=list)
     paths_explored: int = 0
     solver_checks: int = 0
+    #: Whether the engine used the incremental assumption-based solver core.
+    incremental: bool = False
+    #: Feasibility queries answered from the interned-constraint-set memo.
+    feasibility_memo_hits: int = 0
     elapsed_seconds: float = 0.0
 
     def segments_with_outcome(self, outcome: str) -> List[SegmentSummary]:

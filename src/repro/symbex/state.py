@@ -127,7 +127,10 @@ class PathState:
         )
 
     def add_constraint(self, constraint: Term) -> None:
-        self.constraints.append(constraint)
+        # Constraints are interned on the way in: the path's prefix is then a
+        # sequence of canonical terms, so the engine's incremental solver
+        # context can align scopes and memoize feasibility by integer uid.
+        self.constraints.append(smt.intern_term(constraint))
 
     def path_constraint(self) -> Term:
         return smt.simplify(smt.conjoin(self.constraints)) if self.constraints else smt.TRUE

@@ -79,15 +79,31 @@ class ComposedViolation:
 
 
 class CompositionEngine:
-    """Composes Step-1 summaries along pipeline routes and decides feasibility."""
+    """Composes Step-1 summaries along pipeline routes and decides feasibility.
+
+    Routes are walked DFS-style, and in incremental mode (the default,
+    inherited from the cache's :class:`SymbexOptions`) the engine keeps one
+    persistent assumption-based solver context aligned to the composed
+    prefix: stage constraints shared by many routes are simplified,
+    bit-blasted and propagated once, and each feasibility question is a
+    single ``check_assumptions`` call on the retained CNF.
+    """
 
     def __init__(
         self,
         cache: SummaryCache,
         solver: Optional[smt.Solver] = None,
+        incremental: Optional[bool] = None,
     ) -> None:
         self.cache = cache
         self.solver = solver if solver is not None else smt.Solver()
+        if incremental is None:
+            incremental = cache.options.incremental and solver is None
+        self.checker: Optional[smt.AssumptionChecker] = (
+            smt.AssumptionChecker(max_conflicts=cache.options.solver_max_conflicts)
+            if incremental
+            else None
+        )
         self.paths_checked = 0
         self.paths_feasible = 0
         self.solver_checks = 0
@@ -152,8 +168,16 @@ class CompositionEngine:
     # -- feasibility ---------------------------------------------------------------------------
 
     def is_feasible(self, prefix: ComposedPrefix, *extra: Term) -> Tuple[bool, Optional[smt.Model]]:
-        """Check the composed constraint (plus optional extra predicates)."""
+        """Check the composed constraint (plus optional extra predicates).
+
+        Incremental mode aligns the persistent context to the prefix's
+        constraint list — composed routes sharing an upstream prefix keep
+        its scopes (and learned clauses) between checks.
+        """
         self.solver_checks += 1
+        if self.checker is not None:
+            status, model = self.checker.check(prefix.constraints, extra, need_model=True)
+            return status == smt.CheckResult.SAT, model
         goal = smt.conjoin(list(prefix.constraints) + [smt.simplify(t) for t in extra])
         status = self.solver.check(goal)
         if status == smt.CheckResult.SAT:

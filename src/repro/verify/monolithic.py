@@ -94,18 +94,11 @@ class MonolithicVerifier:
                 initial_metadata=metadata,
             )
             for state in states:
-                statistics.pipeline_paths_explored += 1
-                if (
-                    statistics.pipeline_paths_explored > self.options.max_paths
-                ):
-                    raise PathExplosionError(
-                        f"monolithic exploration exceeded {self.options.max_paths} pipeline paths"
-                    )
                 new_trail = trail + [element.name]
                 if state.outcome == SegmentOutcome.EMIT:
                     downstream = self.pipeline.downstream(element, state.port or 0)
                     if downstream is None:
-                        terminal_paths.append((element, state, new_trail))
+                        self._record_terminal(statistics, terminal_paths, element, state, new_trail)
                         continue
                     explore(
                         downstream[0],
@@ -115,7 +108,7 @@ class MonolithicVerifier:
                         new_trail,
                     )
                 else:
-                    terminal_paths.append((element, state, new_trail))
+                    self._record_terminal(statistics, terminal_paths, element, state, new_trail)
 
         try:
             explore(self.entry, SymbolicPacket.fresh(input_length), [], {}, [])
@@ -131,7 +124,11 @@ class MonolithicVerifier:
             statistics.budget_exceeded = True
             notes.append(f"did not complete within budget: {exc}")
 
-        statistics.solver_checks = engine.solver_checks
+        statistics.count_solver_checks(
+            engine.solver_checks,
+            incremental=engine.checker is not None,
+            memo_hits=engine.checker.memo_hits if engine.checker else 0,
+        )
         statistics.elapsed_seconds = time.perf_counter() - started
         return VerificationResult(
             property_name=target_property.describe(),
@@ -142,6 +139,22 @@ class MonolithicVerifier:
             statistics=statistics,
             notes=notes,
         )
+
+    def _record_terminal(
+        self,
+        statistics: MonolithicStatistics,
+        terminal_paths: List[Tuple[Element, PathState, List[str]]],
+        element: Element,
+        state: PathState,
+        trail: List[str],
+    ) -> None:
+        """Count one complete pipeline path (the ``2^(k*n)`` quantity of §3)."""
+        statistics.pipeline_paths_explored += 1
+        if statistics.pipeline_paths_explored > self.options.max_paths:
+            raise PathExplosionError(
+                f"monolithic exploration exceeded {self.options.max_paths} pipeline paths"
+            )
+        terminal_paths.append((element, state, trail))
 
     @staticmethod
     def _violates(target_property: Property, element: Element, state: PathState) -> bool:

@@ -51,7 +51,7 @@ class PipelineVerifier:
         self.pipeline = pipeline
         self.options = options or SymbexOptions()
         self.cache = cache if cache is not None else SummaryCache(self.options)
-        self.composer = CompositionEngine(self.cache)
+        self.composer = CompositionEngine(self.cache, incremental=self.options.incremental)
         if entry is None:
             entries = pipeline.entry_elements()
             if len(entries) != 1:
@@ -102,16 +102,27 @@ class PipelineVerifier:
         if isinstance(target_property, Reachability):
             extra_predicate = target_property.input_predicate
 
+        # Summaries are cached and revisited — once per input length and per
+        # element position — so statistics for a given summary object must be
+        # merged exactly once, or the reported work inflates with every revisit.
+        counted_summaries: Set[int] = set()
+
         try:
             for input_length in input_lengths:
                 summaries = self.element_summaries(input_length)
 
                 suspects: List[Tuple[Element, int, SegmentSummary]] = []
                 for (name, length), (element, summary) in summaries.items():
-                    statistics.merge_element(
-                        f"{name}@{length}", len(summary.segments), summary.elapsed_seconds
-                    )
-                    statistics.solver_checks += summary.solver_checks
+                    if id(summary) not in counted_summaries:
+                        counted_summaries.add(id(summary))
+                        statistics.merge_element(
+                            f"{name}@{length}", len(summary.segments), summary.elapsed_seconds
+                        )
+                        statistics.count_solver_checks(
+                            summary.solver_checks,
+                            incremental=summary.incremental,
+                            memo_hits=summary.feasibility_memo_hits,
+                        )
                     for segment in summary.segments:
                         if target_property.is_suspect(element.name, segment):
                             suspects.append((element, length, segment))
@@ -153,7 +164,11 @@ class PipelineVerifier:
 
         statistics.composed_paths_checked = self.composer.paths_checked
         statistics.composed_paths_feasible = self.composer.paths_feasible
-        statistics.solver_checks += self.composer.solver_checks
+        statistics.count_solver_checks(
+            self.composer.solver_checks,
+            incremental=self.composer.checker is not None,
+            memo_hits=self.composer.checker.memo_hits if self.composer.checker else 0,
+        )
         statistics.summary_cache_hits = self.cache.statistics.hits
         statistics.elapsed_seconds = time.perf_counter() - started
         return VerificationResult(
@@ -208,7 +223,11 @@ class PipelineVerifier:
                 )
 
         statistics.composed_paths_checked = self.composer.paths_checked
-        statistics.solver_checks = self.composer.solver_checks
+        statistics.count_solver_checks(
+            self.composer.solver_checks,
+            incremental=self.composer.checker is not None,
+            memo_hits=self.composer.checker.memo_hits if self.composer.checker else 0,
+        )
         statistics.summary_cache_hits = self.cache.statistics.hits
         statistics.elapsed_seconds = time.perf_counter() - started
         return InstructionBoundResult(

@@ -37,7 +37,16 @@ class Counterexample:
 
 @dataclass
 class VerificationStatistics:
-    """Work performed during one verification run."""
+    """Work performed during one verification run.
+
+    ``solver_checks`` counts every feasibility/satisfiability question the
+    run asked.  The incremental/scratch split reports which solving core
+    answered them: ``incremental_solver_checks`` went through a persistent
+    assumption-based context (encodings and learned clauses retained
+    between questions), ``scratch_solver_checks`` rebuilt the query from
+    nothing, and ``feasibility_memo_hits`` were answered from the
+    interned-constraint-set memo without touching a solver at all.
+    """
 
     elements_analyzed: int = 0
     segments_total: int = 0
@@ -45,6 +54,9 @@ class VerificationStatistics:
     composed_paths_checked: int = 0
     composed_paths_feasible: int = 0
     solver_checks: int = 0
+    incremental_solver_checks: int = 0
+    scratch_solver_checks: int = 0
+    feasibility_memo_hits: int = 0
     summary_cache_hits: int = 0
     elapsed_seconds: float = 0.0
     per_element_segments: Dict[str, int] = field(default_factory=dict)
@@ -56,6 +68,15 @@ class VerificationStatistics:
         self.segments_total += segments
         self.per_element_segments[name] = segments
         self.per_element_seconds[name] = self.per_element_seconds.get(name, 0.0) + seconds
+
+    def count_solver_checks(self, checks: int, incremental: bool, memo_hits: int = 0) -> None:
+        """Attribute ``checks`` solver questions to the right solving core."""
+        self.solver_checks += checks
+        if incremental:
+            self.incremental_solver_checks += checks
+        else:
+            self.scratch_solver_checks += checks
+        self.feasibility_memo_hits += memo_hits
 
 
 @dataclass
@@ -88,6 +109,10 @@ class VerificationResult:
             f"({self.statistics.suspect_segments} suspect)",
             f"composed   : {self.statistics.composed_paths_checked} checked, "
             f"{self.statistics.composed_paths_feasible} feasible",
+            f"solver     : {self.statistics.solver_checks} checks "
+            f"({self.statistics.incremental_solver_checks} incremental / "
+            f"{self.statistics.scratch_solver_checks} scratch, "
+            f"{self.statistics.feasibility_memo_hits} memo hits)",
             f"time       : {self.statistics.elapsed_seconds:.2f}s",
         ]
         for counterexample in self.counterexamples[:5]:

@@ -149,10 +149,18 @@ def synthetic_branchy_element(branches: int, offset: int = 0, name: Optional[str
 def synthetic_pipeline(
     elements: int, branches_per_element: int, name: Optional[str] = None
 ) -> Pipeline:
-    """A chain of ``elements`` synthetic elements with ``branches_per_element`` branches each."""
+    """A chain of ``elements`` synthetic elements with ``branches_per_element`` branches each.
+
+    Each element inspects its *own* packet bytes (disjoint offsets), so the
+    per-element branches are independent across the pipeline — the whole
+    pipeline genuinely has ``2^(k*n)`` feasible paths, which is the
+    configuration behind the paper's path-counting argument.
+    """
     chain = [
         SyntheticBranchyElement(
-            branches=branches_per_element, offset=0, name=f"branchy_{index}"
+            branches=branches_per_element,
+            offset=index * branches_per_element,
+            name=f"branchy_{index}",
         )
         for index in range(elements)
     ]

@@ -1,0 +1,249 @@
+"""Tests for the incremental solver core: interning, scoping, differentials."""
+
+import random
+
+import pytest
+
+from repro import smt
+from repro.smt import (
+    And,
+    AssumptionChecker,
+    BitVec,
+    BitVecVal,
+    Bool,
+    CheckResult,
+    Eq,
+    Not,
+    Or,
+    Solver,
+    SolverContext,
+    UGT,
+    ULE,
+    ULT,
+    intern_term,
+)
+from repro.smt.errors import SolverError
+from repro.smt.terms import Op, Term, mk_term
+
+
+class TestInterning:
+    def test_intern_identity_iff_structurally_equal(self):
+        for first, second, same in [
+            (BitVec("x", 8) + 1, BitVec("x", 8) + 1, True),
+            (BitVec("x", 8) + 1, BitVec("x", 8) + 2, False),
+            (BitVec("x", 8), BitVec("x", 16), False),
+            (BitVec("x", 8), BitVec("y", 8), False),
+            (ULT(BitVec("x", 8), 5), ULT(BitVec("x", 8), 5), True),
+            (smt.Extract(3, 0, BitVec("x", 8)), smt.Extract(3, 0, BitVec("x", 8)), True),
+            (smt.Extract(3, 0, BitVec("x", 8)), smt.Extract(4, 1, BitVec("x", 8)), False),
+        ]:
+            assert (intern_term(first) is intern_term(second)) == same
+            assert first.structurally_equal(second) == same
+
+    def test_raw_terms_intern_to_the_constructed_instance(self):
+        built = BitVec("z", 8) + BitVecVal(3, 8)
+        raw = Term(Op.BV_ADD, (BitVec("z", 8), BitVecVal(3, 8)), built.sort)
+        assert raw is not built
+        assert intern_term(raw) is built
+
+    def test_constructors_return_shared_instances(self):
+        assert BitVec("w", 8) is BitVec("w", 8)
+        assert (BitVec("w", 8) + 1) is (BitVec("w", 8) + 1)
+        assert smt.BoolVal(True) is smt.TRUE
+        assert mk_term(Op.BOOL_CONST, value=True) is smt.TRUE
+        assert mk_term(Op.BOOL_CONST, value=False) is smt.FALSE
+
+    def test_interned_terms_share_uids(self):
+        a, b = ULE(BitVec("u", 8), 9), ULE(BitVec("u", 8), 9)
+        assert a.uid == b.uid
+        assert a.uid != ULE(BitVec("u", 8), 10).uid
+
+    def test_bv_const_normalises_before_interning(self):
+        assert BitVecVal(256 + 7, 8) is BitVecVal(7, 8)
+
+
+class TestSolverContextScoping:
+    def test_push_pop_mirrors_scratch_solver(self):
+        x = BitVec("x", 8)
+        context = SolverContext()
+        context.assert_term(ULT(x, 10))
+        context.push()
+        context.assert_term(UGT(x, 20))
+        assert context.check_assumptions() == CheckResult.UNSAT
+        context.pop()
+        assert context.check_assumptions() == CheckResult.SAT
+        assert context.model()["x"] < 10
+        with pytest.raises(SolverError):
+            context.pop()
+
+    def test_nested_scopes(self):
+        x = BitVec("x", 8)
+        context = SolverContext()
+        context.assert_term(ULT(x, 100))
+        context.push()
+        context.assert_term(UGT(x, 50))
+        context.push()
+        context.assert_term(Eq(x, BitVecVal(51, 8)))
+        assert context.depth == 2
+        assert context.check_assumptions() == CheckResult.SAT
+        assert context.model()["x"] == 51
+        context.pop()
+        context.push()
+        context.assert_term(Eq(x, BitVecVal(10, 8)))
+        assert context.check_assumptions() == CheckResult.UNSAT
+        context.pop()
+        context.pop()
+        assert context.check_assumptions() == CheckResult.SAT
+
+    def test_assumptions_do_not_persist(self):
+        x = BitVec("x", 8)
+        context = SolverContext()
+        context.assert_term(ULT(x, 10))
+        assert context.check_assumptions(UGT(x, 20)) == CheckResult.UNSAT
+        assert context.check_assumptions() == CheckResult.SAT
+        assert context.check_assumptions(UGT(x, 5)) == CheckResult.SAT
+        assert context.model()["x"] in (6, 7, 8, 9)
+
+    def test_non_boolean_assertion_rejected(self):
+        with pytest.raises(SolverError):
+            SolverContext().assert_term(BitVec("x", 8))
+
+    def test_model_before_check_raises(self):
+        with pytest.raises(SolverError):
+            SolverContext().model()
+
+    def test_encodings_are_reused_across_checks(self):
+        x = BitVec("x", 8)
+        context = SolverContext()
+        context.assert_term(ULT(x, 10))
+        context.check_assumptions()
+        encoded_once = context.statistics.terms_encoded
+        context.check_assumptions()
+        context.check_assumptions(ULT(x, 10))
+        assert context.statistics.terms_encoded == encoded_once
+        assert context.statistics.literals_reused >= 2
+
+
+def _random_formula(rng: random.Random) -> "smt.Term":
+    """A random 8-bit comparison over two variables (same shape as the SAT tests)."""
+    x, y = BitVec("x", 8), BitVec("y", 8)
+
+    def operand(depth):
+        if depth == 0 or rng.random() < 0.4:
+            return rng.choice([x, y, BitVecVal(rng.randrange(256), 8)])
+        a, b = operand(depth - 1), operand(depth - 1)
+        return rng.choice([a + b, a - b, a & b, a | b, a ^ b, a * b])
+
+    comparison = rng.choice([Eq, ULT, ULE])(operand(2), operand(2))
+    return Not(comparison) if rng.random() < 0.5 else comparison
+
+
+class TestDifferentialAgainstScratch:
+    def test_assumption_checks_agree_with_scratch_solver(self):
+        """Random push/assert/pop/check scripts: both cores give identical verdicts."""
+        rng = random.Random(7)
+        for _round in range(15):
+            context = SolverContext()
+            scratch = Solver(enable_cache=False)
+            depth = 0
+            for _step in range(rng.randrange(4, 12)):
+                action = rng.random()
+                if action < 0.5:
+                    formula = _random_formula(rng)
+                    context.assert_term(formula)
+                    scratch.add(formula)
+                elif action < 0.7:
+                    context.push()
+                    scratch.push()
+                    depth += 1
+                elif action < 0.8 and depth > 0:
+                    context.pop()
+                    scratch.pop()
+                    depth -= 1
+                else:
+                    extra = _random_formula(rng)
+                    assert context.check_assumptions(extra) == scratch.check(extra)
+            assert context.check_assumptions() == scratch.check()
+
+    def test_checker_memo_and_agreement_on_growing_prefixes(self):
+        """Append-only constraint lists (the fork-tree shape) agree with scratch."""
+        rng = random.Random(11)
+        checker = AssumptionChecker()
+        scratch = Solver(enable_cache=False)
+        constraints = []
+        for _step in range(25):
+            constraints.append(_random_formula(rng))
+            status, model = checker.check(constraints, need_model=True)
+            expected = scratch.check(And(*constraints))
+            assert status == expected
+            if status == CheckResult.SAT:
+                assert model is not None
+                assert model.satisfies(And(*constraints))
+        hits_before = checker.memo_hits
+        checker.check(constraints)
+        assert checker.memo_hits == hits_before + 1
+
+    def test_sat_models_satisfy_the_active_constraints(self):
+        rng = random.Random(3)
+        context = SolverContext()
+        asserted = []
+        for _step in range(20):
+            formula = _random_formula(rng)
+            context.assert_term(formula)
+            asserted.append(formula)
+            if context.check_assumptions() == CheckResult.SAT:
+                model = context.model()
+                for term in asserted:
+                    assert model.satisfies(term)
+            else:
+                break
+
+
+class TestEngineModesAgree:
+    def test_summaries_identical_across_solver_modes(self):
+        from repro.dataplane.elements import CheckIPHeader, DecIPTTL, IPOptions
+        from repro.symbex import SymbexOptions
+        from repro.symbex.engine import SymbolicEngine
+
+        for element in (
+            DecIPTTL(name="ttl"),
+            CheckIPHeader(name="chk", verify_checksum=False),
+            IPOptions(name="opts", max_options=4),
+        ):
+            fingerprints = []
+            for incremental in (True, False):
+                engine = SymbolicEngine(SymbexOptions(incremental=incremental))
+                summary = engine.summarize_element(
+                    element.program,
+                    24,
+                    tables=element.state.tables(),
+                    element_name=element.name,
+                )
+                assert summary.incremental == incremental
+                fingerprints.append(
+                    sorted(
+                        (segment.outcome, segment.port, segment.instructions)
+                        for segment in summary.segments
+                    )
+                )
+            assert fingerprints[0] == fingerprints[1]
+
+    def test_verification_verdicts_identical_across_solver_modes(self):
+        from repro.dataplane import Pipeline
+        from repro.dataplane.elements import CheckIPHeader, IPOptions
+        from repro.symbex import SymbexOptions
+        from repro.verify import verify_crash_freedom
+
+        protected = Pipeline.chain(
+            [CheckIPHeader(name="chk", verify_checksum=False), IPOptions(name="opts", max_options=6)],
+            name="protected",
+        )
+        unprotected = Pipeline.chain([IPOptions(name="opts", max_options=6)], name="unprotected")
+        for pipeline, expected in ((protected, "proved"), (unprotected, "violated")):
+            for incremental in (True, False):
+                result = verify_crash_freedom(
+                    pipeline,
+                    input_lengths=[24],
+                    options=SymbexOptions(incremental=incremental),
+                )
+                assert result.verdict == expected

@@ -175,3 +175,59 @@ class TestLoopDecomposition:
         loop = element.program.loops()[0]
         summary = summarize_loop(element.program, loop, input_length=20)
         assert summary.crash_segments_per_iteration == 0
+
+    @staticmethod
+    def _counter_loop_program(conditional_init: bool):
+        """A stride-4 scan whose initialiser is (optionally) branch-dependent."""
+        builder = ProgramBuilder("counter")
+        selector = builder.let("selector", builder.load(1, 1))
+        if conditional_init:
+            with builder.if_(selector):
+                builder.assign("r", builder.load(0, 1))
+            with builder.else_():
+                builder.assign("r", 4)
+        else:
+            builder.assign("r", 4)
+        with builder.while_(builder.reg("r") < 20, max_iterations=8, loop_id="scan"):
+            builder.let("x", builder.load(builder.reg("r"), 1))
+            builder.assign("r", builder.reg("r") + 4)
+        builder.emit(0)
+        return builder.build()
+
+    def test_stride_invariant_requires_dominating_initialiser(self):
+        """A branch-dependent initial value must not narrow the havoc'd counter.
+
+        With `r := 4` dominating, only r in {4, 8, 12, 16} reaches the scan's
+        reads, all inside an 18-byte packet.  When one branch loads r from
+        the packet instead, r = 18 is a reachable loop-head state and the
+        iteration must report the out-of-bounds read.
+        """
+        sound = self._counter_loop_program(conditional_init=False)
+        summary = summarize_loop(sound, sound.loops()[0], input_length=18)
+        assert summary.crash_segments_per_iteration == 0
+
+        unsound_if_narrowed = self._counter_loop_program(conditional_init=True)
+        summary = summarize_loop(
+            unsound_if_narrowed, unsound_if_narrowed.loops()[0], input_length=18
+        )
+        assert summary.crash_segments_per_iteration >= 1
+
+    def test_prefix_crashes_not_attributed_to_the_iteration(self):
+        """IPOptions' trusted-IHL read crashes before the loop, not per-iteration."""
+        element = IPOptions(name="opts", max_options=4)
+        loop = element.program.loops()[0]
+        summary = summarize_loop(element.program, loop, input_length=24)
+        # Surviving the trusted-IHL read bounds hlen by the packet length, so
+        # in context the walk itself cannot read out of bounds...
+        assert summary.crash_segments_per_iteration == 0
+        # ...while the prefix's own crash segments (the Figure-2 suspects)
+        # exist in the raw summary and are excluded from the per-iteration count.
+        prefix_crashes = [
+            segment
+            for segment in summary.iteration_summary.crash_segments
+            if "__loop_iteration" not in segment.output_metadata
+        ]
+        assert prefix_crashes
+        assert summary.crash_segments_per_iteration + len(prefix_crashes) == len(
+            summary.iteration_summary.crash_segments
+        )
