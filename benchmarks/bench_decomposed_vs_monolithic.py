@@ -56,8 +56,9 @@ def run_comparison():
     return rows
 
 
-def test_decomposed_vs_monolithic(benchmark):
+def test_decomposed_vs_monolithic(benchmark, bench_json):
     rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    bench_json("decomposed_vs_monolithic", rows)
 
     print("\n--- E5: decomposed vs monolithic verification "
           f"(k elements x {BRANCHES_PER_ELEMENT} branches; "

@@ -29,7 +29,7 @@ def summarize_toy_program():
     return engine.summarize_element(element.program, 1, element_name=element.name)
 
 
-def test_fig1_toy_program_paths(benchmark):
+def test_fig1_toy_program_paths(benchmark, bench_json):
     summary = benchmark.pedantic(summarize_toy_program, rounds=1, iterations=1)
 
     # The paper's Figure 1: exactly three feasible paths, one of which crashes.
@@ -38,6 +38,15 @@ def test_fig1_toy_program_paths(benchmark):
     assert len(summary.emit_segments) == 2
 
     bound = max(segment.instructions for segment in summary.emit_segments)
+    bench_json(
+        "fig1_toy_program",
+        {
+            "segments": len(summary.segments),
+            "crash_segments": len(summary.crash_segments),
+            "safe_path_instruction_bound": bound,
+            "elapsed_seconds": summary.elapsed_seconds,
+        },
+    )
     print("\n--- E1 / Figure 1: toy program execution tree ---")
     print(f"{'paper':<12} 3 feasible paths; crash iff in < 0; <=10 instructions on safe paths")
     print(

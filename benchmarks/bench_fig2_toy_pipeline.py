@@ -41,12 +41,22 @@ def verify_both():
     return alone, composed
 
 
-def test_fig2_toy_pipeline(benchmark):
+def test_fig2_toy_pipeline(benchmark, bench_json):
     alone, composed = benchmark.pedantic(verify_both, rounds=1, iterations=1)
 
     assert alone.violated and composed.proved
     assert composed.statistics.suspect_segments >= 1
     assert composed.statistics.composed_paths_feasible == 0
+    bench_json(
+        "fig2_toy_pipeline",
+        {
+            "alone_verdict": alone.verdict,
+            "composed_verdict": composed.verdict,
+            "suspect_segments": composed.statistics.suspect_segments,
+            "composed_paths_checked": composed.statistics.composed_paths_checked,
+            "elapsed_seconds": composed.statistics.elapsed_seconds,
+        },
+    )
 
     print("\n--- E2 / Figure 2: toy pipeline decomposition ---")
     print(f"{'paper':<12} e3 is suspect in isolation; infeasible once composed after E1")

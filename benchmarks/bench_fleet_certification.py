@@ -1,0 +1,137 @@
+"""E10 — fleet-scale certification: store reuse and multi-core scaling.
+
+The orchestrator layer amortizes Step-1 work across a whole pipeline
+catalog (deduplicated shared elements), across runs (the persistent
+:class:`SummaryStore`), and across cores (multiprocessing workers).  This
+bench certifies a catalog three ways and checks the three claims that
+matter:
+
+* **warm store** — re-certifying an unchanged catalog from a warm store
+  performs *zero* Step-1 symbolic executions;
+* **parallel == serial** — worker sharding changes wall-clock, never
+  verdicts or counterexample packets;
+* **scaling** — with enough cores, ``workers=4`` beats serial by >= 2x on
+  a catalog of >= 8 pipelines (asserted only when the host actually has
+  >= 4 CPUs; the speedup is always recorded in ``BENCH_fleet.json``).
+
+Set ``REPRO_BENCH_QUICK=1`` for a CI-smoke-sized run.
+"""
+
+import os
+import tempfile
+
+from repro.orchestrator import SummaryStore, certify_fleet
+from repro.verify import CrashFreedom, destination_reachability
+from repro.workloads import fleet_catalog
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+# The >= 2x scaling claim is stated for catalogs of >= 8 pipelines, so even
+# the quick smoke keeps the catalog at 8 — only the property set shrinks.
+CATALOG_SIZE = 8 if QUICK else 10
+INPUT_LENGTHS = (24,)
+WORKERS = 4
+
+
+def _properties():
+    if QUICK:
+        return [CrashFreedom()]
+    return [
+        CrashFreedom(),
+        destination_reachability(
+            0x0A000001, exempt_elements={"check_ip", "gw_check", "dec_ttl", "lookup"}
+        ),
+    ]
+
+
+def _packets(report):
+    """Per-pipeline counterexample packets — the bytes two runs must agree on."""
+    return [
+        [ce.packet.hex() for result in c.results for ce in result.counterexamples]
+        for c in report.certifications
+    ]
+
+
+def run_fleet_comparison():
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as root:
+        serial_store = SummaryStore(os.path.join(root, "serial"))
+        cold = certify_fleet(
+            fleet_catalog(CATALOG_SIZE),
+            _properties(),
+            input_lengths=INPUT_LENGTHS,
+            workers=1,
+            store=serial_store,
+        )
+        warm = certify_fleet(
+            fleet_catalog(CATALOG_SIZE),
+            _properties(),
+            input_lengths=INPUT_LENGTHS,
+            workers=1,
+            store=SummaryStore(os.path.join(root, "serial")),
+        )
+        parallel = certify_fleet(
+            fleet_catalog(CATALOG_SIZE),
+            _properties(),
+            input_lengths=INPUT_LENGTHS,
+            workers=WORKERS,
+            store=SummaryStore(os.path.join(root, "parallel")),
+        )
+    return cold, warm, parallel
+
+
+def test_fleet_certification(benchmark, bench_json):
+    cold, warm, parallel = benchmark.pedantic(run_fleet_comparison, rounds=1, iterations=1)
+
+    speedup = cold.statistics.elapsed_seconds / max(parallel.statistics.elapsed_seconds, 1e-9)
+    print(f"\n--- E10: fleet certification ({CATALOG_SIZE} pipelines, "
+          f"{len(_properties())} properties, {os.cpu_count()} CPUs) ---")
+    print(f"{'mode':>16} | {'time (s)':>9} | {'step-1 computed':>15} | {'store hits':>10}")
+    for label, report in (("serial cold", cold), ("serial warm", warm),
+                          (f"parallel x{WORKERS}", parallel)):
+        stats = report.statistics
+        print(f"{label:>16} | {stats.elapsed_seconds:>9.2f} | "
+              f"{stats.summaries_computed:>15} | {stats.store_hits:>10}")
+    print(f"{'speedup':>16} | {speedup:>8.2f}x")
+
+    bench_json(
+        "fleet",
+        {
+            "catalog_size": CATALOG_SIZE,
+            "workers": WORKERS,
+            "cpus": os.cpu_count(),
+            "element_instances": cold.statistics.element_instances,
+            "distinct_summary_jobs": cold.statistics.distinct_summary_jobs,
+            "serial_cold_seconds": cold.statistics.elapsed_seconds,
+            "serial_warm_seconds": warm.statistics.elapsed_seconds,
+            "parallel_seconds": parallel.statistics.elapsed_seconds,
+            "speedup_vs_serial": speedup,
+            "warm_summaries_computed": warm.statistics.summaries_computed,
+            "certified": len(cold.certified),
+            "rejected": len(cold.rejected),
+            "counterexamples": cold.statistics.counterexamples,
+        },
+    )
+
+    # (a) A warm store serves the entire unchanged catalog: zero Step-1
+    # symbolic executions, everything from disk.
+    assert warm.statistics.summaries_computed == 0
+    assert warm.statistics.store_hits >= cold.statistics.summaries_computed
+    assert warm.verdicts() == cold.verdicts()
+
+    # (c) Parallel and serial runs are indistinguishable in their results.
+    assert parallel.verdicts() == cold.verdicts()
+    assert _packets(parallel) == _packets(cold)
+
+    # Cross-pipeline dedupe did real work: the catalog shares elements.
+    assert cold.statistics.distinct_summary_jobs < cold.statistics.element_instances
+
+    # (b) The scaling claim needs actual cores to stand on; on smaller hosts
+    # the speedup is recorded above but not asserted.  Quick mode keeps a
+    # lighter floor — the workload is smaller and CI runners are shared —
+    # but still catches a regression that serializes the pool outright.
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        floor = 1.3 if QUICK else 2.0
+        assert speedup >= floor, (
+            f"workers={WORKERS} speedup {speedup:.2f}x < {floor}x on {cpus} CPUs"
+        )

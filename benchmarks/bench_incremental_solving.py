@@ -82,8 +82,9 @@ def run_comparison():
     return rows
 
 
-def test_incremental_vs_scratch(benchmark):
+def test_incremental_vs_scratch(benchmark, bench_json):
     rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    bench_json("incremental_solving", rows)
 
     print("\n--- E9: incremental vs scratch solving ---")
     print(f"{'workload':>10} | {'scratch (s)':>12} {'incremental (s)':>16} {'speedup':>8} {'agree':>6}")

@@ -36,8 +36,21 @@ def measure():
     return rows
 
 
-def test_loop_decomposition(benchmark):
+def test_loop_decomposition(benchmark, bench_json):
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    bench_json(
+        "loop_decomposition",
+        [
+            {
+                "loop_bound": max_options,
+                "naive_segments": len(naive.segments),
+                "naive_seconds": naive.elapsed_seconds,
+                "mini_element_segments": decomposed.segments_per_iteration,
+                "decomposed_segment_count": decomposed.decomposed_segment_count,
+            }
+            for max_options, naive, decomposed in rows
+        ],
+    )
 
     print("\n--- E7: loop decomposition (naive unrolling vs per-iteration mini-element) ---")
     print(f"{'loop bound':>10} | {'naive segments':>14} {'naive time (s)':>14} | "

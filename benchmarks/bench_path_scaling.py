@@ -33,8 +33,20 @@ def measure_path_counts():
     return rows
 
 
-def test_path_scaling(benchmark):
+def test_path_scaling(benchmark, bench_json):
     rows = benchmark.pedantic(measure_path_counts, rounds=1, iterations=1)
+    bench_json(
+        "path_scaling",
+        [
+            {
+                "elements": elements,
+                "branches": branches,
+                "decomposed_segments": decomposed,
+                "monolithic_paths": monolithic,
+            }
+            for elements, branches, decomposed, monolithic in rows
+        ],
+    )
 
     print("\n--- E6: path-count scaling (paper: k*2^n vs 2^(k*n)) ---")
     print(f"{'k':>2} {'n':>2} | {'k*2^n (predicted)':>18} {'decomposed (measured)':>22} | "

@@ -23,8 +23,22 @@ def verify_all_prefixes():
     return results
 
 
-def test_prelim_crash_freedom(benchmark):
+def test_prelim_crash_freedom(benchmark, bench_json):
     results = benchmark.pedantic(verify_all_prefixes, rounds=1, iterations=1)
+    bench_json(
+        "prelim_crash_freedom",
+        [
+            {
+                "pipeline_length": length,
+                "verdict": result.verdict,
+                "segments": result.statistics.segments_total,
+                "suspects": result.statistics.suspect_segments,
+                "composed_paths": result.statistics.composed_paths_checked,
+                "elapsed_seconds": result.statistics.elapsed_seconds,
+            }
+            for length, result in results
+        ],
+    )
 
     print("\n--- E3: crash freedom of IP-router pipelines (paper: all proved) ---")
     print(f"{'pipeline length':>15} | {'verdict':>8} | {'segments':>8} | {'suspects':>8} | "

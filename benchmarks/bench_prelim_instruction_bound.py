@@ -28,8 +28,20 @@ def compute_bounds():
     return rows
 
 
-def test_prelim_instruction_bound(benchmark):
+def test_prelim_instruction_bound(benchmark, bench_json):
     rows = benchmark.pedantic(compute_bounds, rounds=1, iterations=1)
+    bench_json(
+        "prelim_instruction_bound",
+        [
+            {
+                "pipeline_length": length,
+                "bound": result.bound,
+                "witness_instructions": result.witness_instructions,
+                "witness_confirmed": result.witness_confirmed,
+            }
+            for length, result in rows
+        ],
+    )
 
     print("\n--- E4: per-packet instruction bound (paper: ~3600 x86 instructions, "
           "ours: IR instructions) ---")

@@ -53,8 +53,18 @@ def run_both_configurations():
     return good, bad
 
 
-def test_reachability(benchmark):
+def test_reachability(benchmark, bench_json):
     good, bad = benchmark.pedantic(run_both_configurations, rounds=1, iterations=1)
+    bench_json(
+        "reachability",
+        {
+            "with_route_verdict": good.verdict,
+            "without_route_verdict": bad.verdict,
+            "counterexamples": len(bad.counterexamples),
+            "elapsed_seconds": good.statistics.elapsed_seconds
+            + bad.statistics.elapsed_seconds,
+        },
+    )
 
     print("\n--- E9: reachability for destination 10.1.2.3 (configuration-specific) ---")
     print(f"with a covering route   : {good.verdict}")

@@ -23,8 +23,22 @@ def verify_stateful_pipeline():
     return result, summaries
 
 
-def test_stateful_elements(benchmark):
+def test_stateful_elements(benchmark, bench_json):
     result, summaries = benchmark.pedantic(verify_stateful_pipeline, rounds=1, iterations=1)
+    bench_json(
+        "stateful_elements",
+        {
+            "verdict": result.verdict,
+            "segments": result.statistics.segments_total,
+            "suspects": result.statistics.suspect_segments,
+            "havoc_reads": sum(
+                len(segment.havoc_reads)
+                for _key, (_element, summary) in summaries.items()
+                for segment in summary.segments
+            ),
+            "elapsed_seconds": result.statistics.elapsed_seconds,
+        },
+    )
 
     print("\n--- E8: stateful elements with havoc'd key/value state "
           "(paper: NetFlow / NAT pipelines) ---")

@@ -1,11 +1,16 @@
 """Benchmark configuration: src/ importability and shared fixtures/helpers."""
 
+import json
 import os
 import sys
+from pathlib import Path
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"))
 
 import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
 def run_once(benchmark, function, *args, **kwargs):
@@ -16,3 +21,25 @@ def run_once(benchmark, function, *args, **kwargs):
 @pytest.fixture
 def once():
     return run_once
+
+
+def write_bench_json(name, results):
+    """Write ``BENCH_<name>.json`` so the perf trajectory is machine-readable.
+
+    Every benchmark funnels its result rows through here; CI uploads the
+    files as artifacts, so numbers can be compared across PRs without
+    scraping stdout.  ``results`` must be JSON-able (non-JSON values fall
+    back to their ``str()``).  The target directory defaults to the repo
+    root and can be redirected with ``REPRO_BENCH_JSON_DIR``.
+    """
+    directory = Path(os.environ.get("REPRO_BENCH_JSON_DIR", REPO_ROOT))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    document = {"bench": name, "quick": QUICK, "results": results}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True, default=str) + "\n")
+    return path
+
+
+@pytest.fixture
+def bench_json():
+    return write_bench_json

@@ -1,0 +1,108 @@
+"""Stable identity of an element's verification-relevant configuration.
+
+A Step-1 summary depends on everything the symbolic engine can observe:
+the element's IR program, its configuration, and — in concrete
+static-table mode — the *contents* of its static tables, which are
+encoded into the summary terms.  The fingerprints here capture exactly
+that, so two elements share a summary (in the in-process cache or the
+on-disk store) iff symbolic execution would produce the same result for
+both.
+
+Fingerprints are memoized per element instance: programs and static
+state are immutable once built, and the render walk is not free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Sequence
+
+from ..ir.stmts import If, Stmt, While
+from .element import Element
+
+_MEMO_ATTRIBUTE = "_configuration_fingerprint_memo"
+
+
+def _render_block(block: Sequence[Stmt]) -> str:
+    """Deterministic full render of a statement block.
+
+    ``repr`` alone is not enough: ``If``/``While`` abbreviate their nested
+    blocks ("then=1 stmts"), which would make programs differing only
+    inside a branch body collide.  This render recurses into every block;
+    flat statements and expressions repr themselves completely.  Nothing
+    rendered embeds the element instance name (``While.loop_id``, the one
+    name-derived field, is deliberately excluded — it only flavours crash
+    messages), so identically configured elements with different names
+    render identically.
+    """
+    parts = []
+    for stmt in block:
+        if isinstance(stmt, If):
+            parts.append(
+                f"If({stmt.cond!r},[{_render_block(stmt.then)}],[{_render_block(stmt.orelse)}])"
+            )
+        elif isinstance(stmt, While):
+            parts.append(
+                f"While({stmt.cond!r},{stmt.max_iterations},[{_render_block(stmt.body)}])"
+            )
+        else:
+            parts.append(repr(stmt))
+    return ";".join(parts)
+
+
+def program_fingerprint(element: Element) -> str:
+    """A stable structural fingerprint of an element's IR program.
+
+    Two elements get the same fingerprint iff their programs are
+    structurally identical (statements, expressions, table declarations,
+    port count) — instance names play no part.
+    """
+    program = element.program
+    tables = repr(sorted(program.tables.items()))
+    rendered = f"{_render_block(program.body)}|{tables}|ports={program.num_output_ports}"
+    return hashlib.sha256(rendered.encode()).hexdigest()
+
+
+def static_state_fingerprint(element: Element) -> str:
+    """Fingerprint the contents of the element's static tables.
+
+    In concrete static-table mode the engine bakes these contents into
+    the summary (``symbolic_read`` cascades), so they are part of the
+    summary's identity.  Tables advertise their own ``fingerprint()``;
+    an unknown static-table type falls back to an identity no other
+    element or run can share — trading reuse for soundness.
+    """
+    parts = []
+    for name, table in sorted(element.state.tables().items()):
+        if getattr(table, "kind", "private") != "static":
+            continue  # private tables are havoc'd: contents never observed
+        fingerprint = getattr(table, "fingerprint", None)
+        if callable(fingerprint):
+            parts.append(f"{name}={fingerprint()}")
+        else:
+            parts.append(f"{name}=opaque:{type(table).__qualname__}:{id(table)}")
+    return ";".join(parts)
+
+
+def configuration_fingerprint(element: Element, include_static_tables: bool) -> str:
+    """The full summary-identity digest of one element configuration.
+
+    ``include_static_tables`` should be True exactly when the engine runs
+    in concrete static-table mode; under havoc'd tables the contents are
+    unobservable and hashing them would only forfeit reuse.
+    """
+    memo: Dict[bool, str] = getattr(element, _MEMO_ATTRIBUTE, None) or {}
+    cached = memo.get(include_static_tables)
+    if cached is not None:
+        return cached
+    material = "\x1f".join(
+        (
+            element.configuration_key(),
+            program_fingerprint(element),
+            static_state_fingerprint(element) if include_static_tables else "-",
+        )
+    )
+    digest = hashlib.sha256(material.encode()).hexdigest()
+    memo[include_static_tables] = digest
+    setattr(element, _MEMO_ATTRIBUTE, memo)
+    return digest

@@ -97,6 +97,11 @@ class StaticExactTable:
     def items(self):
         return self._entries.items()
 
+    def fingerprint(self) -> str:
+        """Stable content identity (part of the element's summary-cache key)."""
+        entries = ",".join(f"{key}:{value}" for key, value in sorted(self._entries.items()))
+        return f"exact[{entries}]"
+
     def symbolic_read(self, key_term, smt):
         """Encode the table as an if-then-else cascade over its entries.
 
@@ -143,6 +148,15 @@ class LpmTable:
 
     def write(self, key: int, value: int) -> None:
         raise StateIsolationError("the forwarding table is static state and is read-only")
+
+    def fingerprint(self) -> str:
+        """Stable content identity (part of the element's summary-cache key)."""
+        routes = sorted(
+            (int(entry.prefix.network), entry.prefix.length, entry.port)
+            for entry in self._lpm.routes()
+        )
+        rendered = ",".join(f"{network}/{length}>{port}" for network, length, port in routes)
+        return f"lpm[{rendered}]"
 
     def symbolic_read(self, key_term, smt):
         """Longest-prefix-match as a cascade ordered by decreasing prefix length."""

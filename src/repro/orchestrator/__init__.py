@@ -1,0 +1,59 @@
+"""``repro.orchestrator`` — fleet-scale verification on top of the two-step verifier.
+
+The sixth architectural layer: stable DAG serialization for hash-consed
+summaries (:mod:`serialize`), a content-addressed on-disk summary store
+shared across processes and runs (:mod:`store`), multiprocessing workers
+with deterministic merging (:mod:`workers`), and the batch certification
+API (:mod:`fleet`).
+
+Typical usage::
+
+    from repro.orchestrator import SummaryStore, certify_fleet
+    from repro.verify import CrashFreedom
+
+    store = SummaryStore("~/.cache/repro-summaries")
+    report = certify_fleet(catalog, [CrashFreedom()], workers=4, store=store)
+    print(report.summary())
+"""
+
+from .errors import OrchestratorError, SerializationError, StoreError, WorkerError
+from .fleet import FleetReport, FleetStatistics, PipelineCertification, certify_fleet
+from .serialize import (
+    FORMAT_VERSION,
+    TermLoader,
+    TermTable,
+    decode_terms,
+    dumps_summary,
+    encode_terms,
+    loads_summary,
+    summary_from_payload,
+    summary_to_payload,
+)
+from .store import StoreStatistics, SummaryStore, program_fingerprint, summary_key
+from .workers import run_tasks, summarize_jobs
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FleetReport",
+    "FleetStatistics",
+    "OrchestratorError",
+    "PipelineCertification",
+    "SerializationError",
+    "StoreError",
+    "StoreStatistics",
+    "SummaryStore",
+    "TermLoader",
+    "TermTable",
+    "WorkerError",
+    "certify_fleet",
+    "decode_terms",
+    "dumps_summary",
+    "encode_terms",
+    "loads_summary",
+    "program_fingerprint",
+    "run_tasks",
+    "summarize_jobs",
+    "summary_from_payload",
+    "summary_key",
+    "summary_to_payload",
+]

@@ -1,0 +1,379 @@
+"""Fleet-scale certification: verify a catalog of pipelines as one batch.
+
+The paper's app-store use case (§2) certifies one candidate element
+against one pipeline.  At fleet scale an operator holds a *catalog* of
+pipelines that share most of their elements (every variant starts with the
+same CheckIPHeader, routes through the same IPLookup configuration, …).
+:func:`certify_fleet` exploits that sharing the same way the verifier
+exploits sharing within one pipeline:
+
+1. **Step 1, deduplicated and sharded** — the catalog's (element
+   configuration, input length) jobs are discovered breadth-first across
+   *all* pipelines at once, deduplicated by store digest, and summarized
+   in parallel worker processes backed by one shared
+   :class:`~repro.orchestrator.store.SummaryStore`.  An element appearing
+   in twenty pipelines is symbolically executed once — and zero times on a
+   warm store.
+2. **Step 2, sharded by pipeline** — per-pipeline suspect-composition
+   checks are independent, so each worker certifies its pipelines against
+   every property, hydrating summaries from the store (L2 hits, no
+   symbolic execution).
+
+Merging is deterministic: certifications come back in catalog order, and
+parallel runs produce the same verdicts and counterexamples as serial
+runs.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..dataplane.element import Element
+from ..dataplane.pipeline import Pipeline
+from ..symbex.engine import SymbexOptions
+from ..verify.cache import SummaryCache
+from ..verify.pipeline_verifier import PipelineVerifier
+from ..verify.properties import Property
+from ..verify.report import InstructionBoundResult, VerificationResult
+from .errors import OrchestratorError
+from .store import SummaryStore
+from .workers import COMPUTED, EXPLODED, job_digest, run_tasks, summarize_jobs
+
+
+@dataclass
+class PipelineCertification:
+    """One pipeline's verdicts against every requested property."""
+
+    pipeline_name: str
+    results: List[VerificationResult] = field(default_factory=list)
+    instruction_bound: Optional[InstructionBoundResult] = None
+
+    @property
+    def certified(self) -> bool:
+        return all(result.proved for result in self.results)
+
+    def __repr__(self) -> str:
+        verdicts = ", ".join(f"{r.property_name}={r.verdict}" for r in self.results)
+        return f"PipelineCertification({self.pipeline_name!r}, {verdicts})"
+
+
+@dataclass
+class FleetStatistics:
+    """Aggregate work accounting for one fleet run."""
+
+    pipelines: int = 0
+    properties_checked: int = 0
+    workers: int = 1
+    element_instances: int = 0
+    distinct_summary_jobs: int = 0
+    #: Actual Step-1 symbolic executions performed (0 on a warm store).
+    summaries_computed: int = 0
+    #: Step-1 discovery jobs served from the on-disk store instead of being
+    #: computed — the work a warm store *avoided*.
+    store_hits: int = 0
+    #: Store loads performed by Step-2 worker processes to rehydrate their
+    #: caches.  In parallel mode this is mandatory transport, not avoided
+    #: work; serial mode reuses the in-process cache and reports 0.
+    step2_store_loads: int = 0
+    solver_checks: int = 0
+    composed_paths_checked: int = 0
+    counterexamples: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class FleetReport:
+    """The merged result of certifying a catalog."""
+
+    certifications: List[PipelineCertification] = field(default_factory=list)
+    statistics: FleetStatistics = field(default_factory=FleetStatistics)
+
+    @property
+    def certified(self) -> List[PipelineCertification]:
+        return [c for c in self.certifications if c.certified]
+
+    @property
+    def rejected(self) -> List[PipelineCertification]:
+        return [c for c in self.certifications if not c.certified]
+
+    def verdicts(self) -> List[Tuple[str, str, str]]:
+        """Flat (pipeline, property, verdict) rows — the comparable core of a run."""
+        return [
+            (certification.pipeline_name, result.property_name, result.verdict)
+            for certification in self.certifications
+            for result in certification.results
+        ]
+
+    def summary(self) -> str:
+        stats = self.statistics
+        lines = [
+            f"fleet      : {stats.pipelines} pipelines x {stats.properties_checked} properties "
+            f"({stats.workers} workers)",
+            f"step 1     : {stats.element_instances} element instances -> "
+            f"{stats.distinct_summary_jobs} distinct jobs, "
+            f"{stats.summaries_computed} computed, {stats.store_hits} from store",
+            f"step 2     : {stats.composed_paths_checked} composed paths, "
+            f"{stats.solver_checks} solver checks"
+            + (
+                f", {stats.step2_store_loads} store rehydrations"
+                if stats.step2_store_loads
+                else ""
+            ),
+            f"verdict    : {len(self.certified)} certified / {len(self.rejected)} rejected, "
+            f"{stats.counterexamples} counterexamples",
+            f"time       : {stats.elapsed_seconds:.2f}s",
+        ]
+        for certification in self.rejected:
+            failing = [r for r in certification.results if not r.proved]
+            for result in failing:
+                lines.append(
+                    f"  rejected {certification.pipeline_name}: {result.property_name} "
+                    f"is {result.verdict}"
+                )
+        return "\n".join(lines)
+
+
+def _entry_of(pipeline: Pipeline) -> Element:
+    entries = pipeline.entry_elements()
+    if len(entries) != 1:
+        raise OrchestratorError(
+            f"pipeline {pipeline.name!r} has {len(entries)} entry elements; "
+            "fleet certification needs exactly one"
+        )
+    return entries[0]
+
+
+def _discover_jobs(
+    pipelines: Sequence[Pipeline],
+    input_lengths: Sequence[int],
+    options: SymbexOptions,
+    workers: int,
+    store: SummaryStore,
+) -> Tuple[Dict[str, object], int, int]:
+    """Breadth-first Step-1 over the whole catalog, deduplicated by digest.
+
+    Downstream packet lengths are only known once the upstream summary
+    exists, so discovery proceeds in waves: summarize the current frontier
+    of distinct jobs in parallel, expand each pipeline's worklist through
+    the new summaries, repeat.  A job that blows its path/time budget is
+    simply not prefetched — the owning pipeline's own verification hits
+    the same budget and reports ``unknown``, exactly as a serial run
+    would.  Returns (summaries by digest, computed count, store-hit
+    count).
+    """
+    summaries: Dict[str, object] = {}
+    exploded: Set[str] = set()  # budget-blown digests: never re-batched
+    computed_count = 0
+    loaded_count = 0
+    # Per-pipeline BFS state, mirroring PipelineVerifier.element_summaries.
+    visited: List[Set[Tuple[str, int]]] = [set() for _ in pipelines]
+    worklists: List[List[Tuple[Element, int]]] = []
+    for pipeline in pipelines:
+        entry = _entry_of(pipeline)
+        worklists.append([(entry, length) for length in input_lengths])
+
+    while True:
+        wave: List[Tuple[int, Element, int, str]] = []
+        batch: List[Tuple[Element, int]] = []
+        batch_digests: List[str] = []
+        for index, worklist in enumerate(worklists):
+            while worklist:
+                element, length = worklist.pop()
+                key = (element.name, length)
+                if key in visited[index]:
+                    continue
+                visited[index].add(key)
+                digest = job_digest(element, length, options)
+                wave.append((index, element, length, digest))
+                if digest in summaries or digest in exploded or digest in batch_digests:
+                    continue
+                # Warm-store entries load in-process: no reason to ship the
+                # job to a worker only to parse the same JSON twice.
+                stored = store.load_digest(digest)
+                if stored is not None:
+                    summaries[digest] = stored
+                    loaded_count += 1
+                    continue
+                batch.append((element, length))
+                batch_digests.append(digest)
+        if not wave:
+            break
+        if batch:
+            results = summarize_jobs(batch, options, workers=workers, store=store)
+            for digest, (status, summary, _detail) in zip(batch_digests, results):
+                if status == EXPLODED:
+                    exploded.add(digest)
+                    continue
+                summaries[digest] = summary
+                if status == COMPUTED:
+                    computed_count += 1
+                else:
+                    loaded_count += 1
+        for index, element, _length, digest in wave:
+            summary = summaries.get(digest)
+            if summary is None:  # exploded job: stop expanding this branch
+                continue
+            for segment in summary.emit_segments:  # type: ignore[attr-defined]
+                downstream = pipelines[index].downstream(element, segment.port or 0)
+                if downstream is not None:
+                    worklists[index].append((downstream[0], len(segment.output_bytes)))
+    return summaries, computed_count, loaded_count
+
+
+def _certify_one(
+    pipeline: Pipeline,
+    properties: Sequence[Property],
+    input_lengths: Sequence[int],
+    cache: SummaryCache,
+    max_counterexamples: int,
+    confirm_by_replay: bool,
+    with_instruction_bound: bool,
+) -> PipelineCertification:
+    verifier = PipelineVerifier(pipeline, options=cache.options, cache=cache)
+    certification = PipelineCertification(pipeline_name=pipeline.name)
+    for target_property in properties:
+        certification.results.append(
+            verifier.verify(
+                target_property,
+                input_lengths=list(input_lengths),
+                max_counterexamples=max_counterexamples,
+                confirm_by_replay=confirm_by_replay,
+            )
+        )
+    if with_instruction_bound:
+        certification.instruction_bound = verifier.instruction_bound(
+            input_lengths=list(input_lengths), find_witness=False
+        )
+    return certification
+
+
+def _certify_worker(payload) -> Tuple[PipelineCertification, int, int]:
+    """Per-pipeline Step-2 task: certify one pipeline from the shared store."""
+    (
+        pipeline,
+        properties,
+        input_lengths,
+        options,
+        store_root,
+        max_counterexamples,
+        confirm_by_replay,
+        with_instruction_bound,
+    ) = payload
+    cache = SummaryCache(options, store=SummaryStore(store_root))
+    certification = _certify_one(
+        pipeline,
+        properties,
+        input_lengths,
+        cache,
+        max_counterexamples,
+        confirm_by_replay,
+        with_instruction_bound,
+    )
+    return certification, cache.statistics.misses, cache.statistics.l2_hits
+
+
+def certify_fleet(
+    pipelines: Sequence[Pipeline],
+    properties: Sequence[Property],
+    input_lengths: Sequence[int] = (64,),
+    workers: int = 1,
+    store: Optional[Union[SummaryStore, str]] = None,
+    options: Optional[SymbexOptions] = None,
+    max_counterexamples: int = 3,
+    confirm_by_replay: bool = True,
+    instruction_bounds: bool = False,
+) -> FleetReport:
+    """Certify every pipeline in the catalog against every property.
+
+    ``workers`` > 1 shards both steps across processes; a ``store`` (path
+    or :class:`SummaryStore`) persists summaries across runs — pass the
+    same store twice and the second run performs no symbolic execution for
+    an unchanged catalog.  Parallel mode requires the shared store as its
+    transport; an ephemeral one is created when none is given.
+    """
+    started = time.perf_counter()
+    options = options or SymbexOptions()
+    for pipeline in pipelines:
+        pipeline.validate()
+        _entry_of(pipeline)  # fail fast on ambiguous catalogs, in any mode
+    report = FleetReport()
+    report.statistics.pipelines = len(pipelines)
+    report.statistics.properties_checked = len(properties)
+    report.statistics.workers = workers
+    report.statistics.element_instances = sum(len(p.elements) for p in pipelines)
+
+    if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
+        store = SummaryStore(store)
+
+    ephemeral: Optional[tempfile.TemporaryDirectory] = None
+    if workers > 1 and store is None:
+        ephemeral = tempfile.TemporaryDirectory(prefix="repro-fleet-store-")
+        store = SummaryStore(ephemeral.name)
+
+    try:
+        if workers > 1:
+            assert store is not None
+            # Step 1: catalog-wide deduplicated summarization into the store.
+            summaries, computed, loaded = _discover_jobs(
+                pipelines, input_lengths, options, workers, store
+            )
+            report.statistics.distinct_summary_jobs = len(summaries)
+            report.statistics.summaries_computed = computed
+            report.statistics.store_hits = loaded
+            # Step 2: per-pipeline composition checks, hydrated from the store.
+            payloads = [
+                (
+                    pipeline,
+                    list(properties),
+                    tuple(input_lengths),
+                    options,
+                    str(store.root),
+                    max_counterexamples,
+                    confirm_by_replay,
+                    instruction_bounds,
+                )
+                for pipeline in pipelines
+            ]
+            for certification, misses, l2_hits in run_tasks(
+                _certify_worker, payloads, workers=workers
+            ):
+                report.certifications.append(certification)
+                # Worker-side misses are real symbolic executions (lengths
+                # Step 1 could not discover, e.g. past an exploded element);
+                # worker-side store loads are rehydration, tracked apart
+                # from the avoided-work counter.
+                report.statistics.summaries_computed += misses
+                report.statistics.step2_store_loads += l2_hits
+        else:
+            # Serial: one shared cache dedupes across the catalog in-process
+            # (and through the store, when one is provided).
+            cache = SummaryCache(options, store=store)
+            for pipeline in pipelines:
+                report.certifications.append(
+                    _certify_one(
+                        pipeline,
+                        properties,
+                        input_lengths,
+                        cache,
+                        max_counterexamples,
+                        confirm_by_replay,
+                        instruction_bounds,
+                    )
+                )
+            report.statistics.distinct_summary_jobs = cache.statistics.entries
+            report.statistics.summaries_computed = cache.statistics.misses
+            report.statistics.store_hits = cache.statistics.l2_hits
+    finally:
+        if ephemeral is not None:
+            ephemeral.cleanup()
+
+    for certification in report.certifications:
+        for result in certification.results:
+            report.statistics.solver_checks += result.statistics.solver_checks
+            report.statistics.composed_paths_checked += result.statistics.composed_paths_checked
+            report.statistics.counterexamples += len(result.counterexamples)
+    report.statistics.elapsed_seconds = time.perf_counter() - started
+    return report

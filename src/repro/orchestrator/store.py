@@ -1,0 +1,166 @@
+"""A content-addressed on-disk store of Step-1 element summaries.
+
+The paper's cost model prices each element's symbolic execution **once**;
+the in-process :class:`repro.verify.cache.SummaryCache` already reuses
+summaries within one run.  The store extends that amortization across
+*processes and runs*: a summary computed by any worker (or any previous
+invocation) is persisted under a content hash and reloaded instead of
+recomputed.
+
+Keys are derived from everything the summary depends on: the element's
+configuration key, a structural fingerprint of its IR program, the
+contents of its static tables (in concrete static-table mode, where they
+are baked into the summary terms), the input packet length, the
+static-table mode, and the serialization format version.  Writes are
+atomic (temp file + rename), so many worker processes can share one
+store directory without locks — the worst case under a racing write is
+one redundant computation, never a torn read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..dataplane.element import Element
+from ..dataplane.fingerprint import configuration_fingerprint, program_fingerprint
+from ..symbex.engine import StaticTableMode, SymbexOptions
+from ..symbex.segment import ElementSummary
+from .errors import StoreError
+from .serialize import FORMAT_VERSION, dumps_summary, loads_summary
+
+__all__ = [
+    "StoreStatistics",
+    "SummaryStore",
+    "program_fingerprint",  # re-exported from repro.dataplane.fingerprint
+    "summary_key",
+]
+
+
+def summary_key(element: Element, input_length: int, options: SymbexOptions) -> str:
+    """The store digest for one (element configuration, input length, options) job.
+
+    Besides the element's configuration fingerprint, the digest covers the
+    engine options that shape summary *content*: the static-table mode,
+    branch pruning, and the solver conflict budget (a starved budget can
+    soundly-but-differently prune branches).  ``incremental`` is
+    deliberately excluded — the two solving cores are differentially
+    tested to produce identical summaries, so they may share entries.
+    Path/time budgets are also excluded: blowing one raises instead of
+    producing a summary, so it can never poison the store.
+    """
+    material = "\x1f".join(
+        (
+            f"v{FORMAT_VERSION}",
+            configuration_fingerprint(
+                element,
+                include_static_tables=options.static_table_mode == StaticTableMode.CONCRETE,
+            ),
+            str(input_length),
+            options.static_table_mode,
+            f"prune={options.prune_infeasible_branches}",
+            f"conflicts={options.solver_max_conflicts}",
+        )
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass
+class StoreStatistics:
+    """Disk-tier traffic counters."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt_entries: int = 0
+    bytes_written: int = 0
+
+
+class SummaryStore:
+    """Content-addressed persistence for element summaries.
+
+    Entries live at ``<root>/<digest[:2]>/<digest>.json``; the two-level
+    fan-out keeps directories small for fleet-sized stores.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(f"cannot create summary store at {self.root}: {exc}") from exc
+        self.statistics = StoreStatistics()
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- keyed by element ----------------------------------------------------------
+
+    def load(
+        self, element: Element, input_length: int, options: SymbexOptions
+    ) -> Optional[ElementSummary]:
+        """Return the stored summary for the job, or ``None`` on a miss."""
+        return self.load_digest(summary_key(element, input_length, options))
+
+    def save(
+        self,
+        element: Element,
+        input_length: int,
+        options: SymbexOptions,
+        summary: ElementSummary,
+    ) -> str:
+        """Persist a summary; returns the digest it was stored under."""
+        digest = summary_key(element, input_length, options)
+        self.save_digest(digest, summary)
+        return digest
+
+    # -- keyed by digest (workers compute keys once and ship them around) -----------
+
+    def load_digest(self, digest: str) -> Optional[ElementSummary]:
+        path = self._path(digest)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            self.statistics.misses += 1
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read summary store entry {path}: {exc}") from exc
+        try:
+            summary = loads_summary(text)
+        except Exception:
+            # A half-written or stale-format entry is a miss: recompute and
+            # overwrite rather than poisoning the run.
+            self.statistics.corrupt_entries += 1
+            self.statistics.misses += 1
+            return None
+        self.statistics.hits += 1
+        return summary
+
+    def save_digest(self, digest: str, summary: ElementSummary) -> None:
+        path = self._path(digest)
+        text = dumps_summary(summary)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.parent / f".{digest}.{os.getpid()}.tmp"
+            temp.write_text(text)
+            os.replace(temp, path)
+        except OSError as exc:
+            raise StoreError(f"cannot write summary store entry {path}: {exc}") from exc
+        self.statistics.puts += 1
+        self.statistics.bytes_written += len(text)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

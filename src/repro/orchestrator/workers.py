@@ -1,0 +1,131 @@
+"""Multiprocessing workers: shard Step-1 and Step-2 work across cores.
+
+Two kinds of work parallelize cleanly:
+
+* **Step-1 element summarization** — per-(element, input length) jobs are
+  independent; each worker symbolically executes its element and ships the
+  summary back as a serialized DAG payload (hash-consed terms cannot cross
+  process boundaries by pickling — see
+  :mod:`repro.orchestrator.serialize`).  When a shared
+  :class:`~repro.orchestrator.store.SummaryStore` is configured, workers
+  check it first and write through on compute, so a summary is computed
+  once per *fleet*, not once per process.
+* **Step-2 composition checks** — :func:`run_tasks` is the generic ordered
+  fan-out used by :mod:`repro.orchestrator.fleet` to run per-pipeline
+  suspect-composition verification in parallel.
+
+Merging is deterministic: results always come back in input order
+regardless of worker scheduling, so parallel runs produce byte-identical
+reports to serial ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
+
+from ..dataplane.element import Element
+from ..symbex.engine import SymbexOptions, SymbolicEngine
+from ..symbex.errors import PathExplosionError
+from ..symbex.segment import ElementSummary
+from .serialize import dumps_summary, loads_summary
+from .store import SummaryStore, summary_key
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: A Step-1 job: summarize ``element`` at ``input_length`` bytes.
+SummaryJob = Tuple[Element, int]
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the interned-term table read-only copy-on-write)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+def run_tasks(
+    worker: Callable[[T], R],
+    payloads: Sequence[T],
+    workers: int = 1,
+) -> List[R]:
+    """Run ``worker`` over ``payloads``, in input order, on up to ``workers`` processes.
+
+    ``worker`` must be a module-level callable and payloads/results must be
+    picklable.  With ``workers <= 1`` (or a single payload) everything runs
+    in-process — the degenerate case costs nothing and keeps behaviour
+    identical for debugging.
+    """
+    if workers <= 1 or len(payloads) <= 1:
+        return [worker(payload) for payload in payloads]
+    context = _pool_context()
+    with context.Pool(processes=min(workers, len(payloads))) as pool:
+        # imap (not imap_unordered): completion order may vary, result order may not.
+        return list(pool.imap(worker, payloads, chunksize=1))
+
+
+#: Result statuses shipped back by the summarization worker.
+COMPUTED = "computed"
+LOADED = "loaded"
+#: The job blew its path/time budget; the payload is the error message.
+#: Shipped as data (not an exception) so one exploding element does not
+#: tear down the whole pool — callers re-raise or degrade per pipeline.
+EXPLODED = "exploded"
+
+
+def _summarize_worker(
+    payload: Tuple[Element, int, SymbexOptions, Optional[str]],
+) -> Tuple[str, str]:
+    """Compute (or fetch) one summary; returns (status, serialized summary | message)."""
+    element, input_length, options, store_root = payload
+    store = SummaryStore(store_root) if store_root is not None else None
+    if store is not None:
+        stored = store.load(element, input_length, options)
+        if stored is not None:
+            return LOADED, dumps_summary(stored)
+    engine = SymbolicEngine(options)
+    try:
+        summary = engine.summarize_element(
+            element.program,
+            input_length,
+            tables=element.state.tables(),
+            element_name=element.name,
+            configuration_key=element.configuration_key(),
+        )
+    except PathExplosionError as exc:
+        return EXPLODED, str(exc)
+    if store is not None:
+        store.save(element, input_length, options, summary)
+    return COMPUTED, dumps_summary(summary)
+
+
+def summarize_jobs(
+    jobs: Sequence[SummaryJob],
+    options: SymbexOptions,
+    workers: int = 1,
+    store: Optional[Union[SummaryStore, str]] = None,
+) -> List[Tuple[str, Optional[ElementSummary], str]]:
+    """Summarize every (element, input length) job, sharded across processes.
+
+    Returns, in job order, ``(status, summary, detail)`` triples: status is
+    :data:`COMPUTED`, :data:`LOADED` (from the store — no symbolic
+    execution, which is how callers count real work), or :data:`EXPLODED`
+    (summary is ``None`` and detail carries the budget message).  Loaded
+    summaries are re-interned into the calling process's term table.
+    """
+    store_root = None
+    if store is not None:
+        store_root = str(store.root) if isinstance(store, SummaryStore) else str(store)
+    payloads = [(element, length, options, store_root) for element, length in jobs]
+    results = run_tasks(_summarize_worker, payloads, workers=workers)
+    return [
+        (status, None, text) if status == EXPLODED else (status, loads_summary(text), "")
+        for status, text in results
+    ]
+
+
+def job_digest(element: Element, input_length: int, options: SymbexOptions) -> str:
+    """The store digest identifying a Step-1 job (used to dedupe fleet work)."""
+    return summary_key(element, input_length, options)

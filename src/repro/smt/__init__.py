@@ -65,7 +65,7 @@ from .model import Model
 from .simplify import is_literal_false, is_literal_true, simplify
 from .solver import CheckResult, Solver, SolverStatistics, check_formula
 from .sorts import BOOL, BitVecSort, BoolSort, Sort, bitvec
-from .terms import FALSE, TRUE, Op, Term, intern_term, mk_term
+from .terms import FALSE, TRUE, Op, Term, intern_term, iter_dag, mk_term
 
 __all__ = [
     "AShR",
@@ -126,6 +126,7 @@ __all__ = [
     "intern_term",
     "is_literal_false",
     "is_literal_true",
+    "iter_dag",
     "mk_term",
     "rename_variables",
     "simplify",

@@ -576,6 +576,39 @@ def mk_sign_extend(term: Term, extra: int) -> Term:
     return mk_term(Op.BV_SEXT, (term,), bitvec(term.width + extra), params=(extra,))
 
 
+# -- DAG transport ------------------------------------------------------------------
+
+
+def iter_dag(roots: Sequence[Term], seen: Optional[set] = None) -> Iterator[Term]:
+    """Yield every distinct node reachable from ``roots``, children first.
+
+    Each interned term is yielded exactly once (deduplicated by ``uid``),
+    and every term appears after all of its children — the topological
+    order a serializer needs to emit a hash-consed DAG without expanding
+    shared subterms.  Iterative, so arbitrarily deep terms (byte-select
+    chains, long conjunctions) do not hit the recursion limit.
+
+    ``seen`` (a mutable set of uids) lets a caller thread the walk across
+    multiple invocations: nodes whose uid is already in the set are
+    pruned without traversal, and every yielded node's uid is added.  An
+    encoder emitting many roots into one table stays O(DAG) overall.
+    """
+    emitted: set = seen if seen is not None else set()
+    stack: list[tuple[Term, bool]] = [(intern_term(root), False) for root in reversed(roots)]
+    while stack:
+        term, expanded = stack.pop()
+        if term.uid in emitted:
+            continue
+        if expanded:
+            emitted.add(term.uid)
+            yield term
+        else:
+            stack.append((term, True))
+            for arg in reversed(term.args):
+                if arg.uid not in emitted:
+                    stack.append((arg, False))
+
+
 #: Shared boolean constants.
 TRUE = mk_term(Op.BOOL_CONST, (), BOOL, value=True)
 FALSE = mk_term(Op.BOOL_CONST, (), BOOL, value=False)

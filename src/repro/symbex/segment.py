@@ -92,6 +92,68 @@ class SegmentSummary:
             f"instructions={self.instructions})"
         )
 
+    # -- transport ----------------------------------------------------------------
+
+    def to_dict(self, terms) -> Dict:
+        """Encode the segment with every term replaced by a slot reference.
+
+        ``terms`` is a term-table encoder exposing ``ref(term) -> int``
+        (see :mod:`repro.orchestrator.serialize`); the segment itself
+        stays a plain JSON-able dict so summaries can cross process and
+        filesystem boundaries without pickling hash-consed terms.
+        """
+        return {
+            "element_name": self.element_name,
+            "index": self.index,
+            "outcome": self.outcome,
+            "port": self.port,
+            "constraint": terms.ref(self.constraint),
+            "output_bytes": [terms.ref(term) for term in self.output_bytes],
+            "output_metadata": {key: terms.ref(value) for key, value in self.output_metadata.items()},
+            "metadata_reads": {key: terms.ref(value) for key, value in self.metadata_reads.items()},
+            "instructions": self.instructions,
+            "havoc_reads": [
+                [havoc.table, terms.ref(havoc.key), havoc.value_var, havoc.found_var]
+                for havoc in self.havoc_reads
+            ],
+            "table_writes": [
+                [write.table, terms.ref(write.key), terms.ref(write.value)]
+                for write in self.table_writes
+            ],
+            "crash_message": self.crash_message,
+            "drop_reason": self.drop_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict, terms) -> "SegmentSummary":
+        """Rebuild a segment from :meth:`to_dict` output.
+
+        ``terms`` is the matching decoder exposing ``term(slot) -> Term``;
+        decoded terms are re-interned, so structural sharing between
+        segments of one element survives the round trip.
+        """
+        return cls(
+            element_name=data["element_name"],
+            index=data["index"],
+            outcome=data["outcome"],
+            constraint=terms.term(data["constraint"]),
+            port=data["port"],
+            output_bytes=tuple(terms.term(slot) for slot in data["output_bytes"]),
+            output_metadata={key: terms.term(slot) for key, slot in data["output_metadata"].items()},
+            metadata_reads={key: terms.term(slot) for key, slot in data["metadata_reads"].items()},
+            instructions=data["instructions"],
+            havoc_reads=tuple(
+                HavocRead(table=table, key=terms.term(key), value_var=value_var, found_var=found_var)
+                for table, key, value_var, found_var in data["havoc_reads"]
+            ),
+            table_writes=tuple(
+                TableWriteRecord(table=table, key=terms.term(key), value=terms.term(value))
+                for table, key, value in data["table_writes"]
+            ),
+            crash_message=data["crash_message"],
+            drop_reason=data["drop_reason"],
+        )
+
 
 def summarize_path(element_name: str, index: int, state: PathState) -> SegmentSummary:
     """Turn a terminated :class:`PathState` into a :class:`SegmentSummary`."""
@@ -160,4 +222,34 @@ class ElementSummary:
             f"ElementSummary({self.element_name}, length={self.input_length}, "
             f"{len(self.segments)} segments: {len(self.emit_segments)} emit / "
             f"{len(self.drop_segments)} drop / {len(self.crash_segments)} crash)"
+        )
+
+    # -- transport ----------------------------------------------------------------
+
+    def to_dict(self, terms) -> Dict:
+        """Encode the summary against a term-table encoder (see ``SegmentSummary.to_dict``)."""
+        return {
+            "element_name": self.element_name,
+            "configuration_key": self.configuration_key,
+            "input_length": self.input_length,
+            "segments": [segment.to_dict(terms) for segment in self.segments],
+            "paths_explored": self.paths_explored,
+            "solver_checks": self.solver_checks,
+            "incremental": self.incremental,
+            "feasibility_memo_hits": self.feasibility_memo_hits,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict, terms) -> "ElementSummary":
+        return cls(
+            element_name=data["element_name"],
+            configuration_key=data["configuration_key"],
+            input_length=data["input_length"],
+            segments=[SegmentSummary.from_dict(segment, terms) for segment in data["segments"]],
+            paths_explored=data["paths_explored"],
+            solver_checks=data["solver_checks"],
+            incremental=data["incremental"],
+            feasibility_memo_hits=data["feasibility_memo_hits"],
+            elapsed_seconds=data["elapsed_seconds"],
         )

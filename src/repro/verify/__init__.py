@@ -20,8 +20,10 @@ from .pipeline_verifier import PipelineVerifier, verify_crash_freedom
 from .properties import (
     BoundedInstructions,
     CrashFreedom,
+    DestinationPredicate,
     Property,
     Reachability,
+    all_packets,
     destination_reachability,
 )
 from .report import (
@@ -41,6 +43,7 @@ __all__ = [
     "CompositionError",
     "Counterexample",
     "CrashFreedom",
+    "DestinationPredicate",
     "InstructionBoundResult",
     "MonolithicVerifier",
     "PipelineVerifier",
@@ -52,6 +55,7 @@ __all__ = [
     "VerificationResult",
     "VerificationStatistics",
     "Verdict",
+    "all_packets",
     "destination_reachability",
     "verify_crash_freedom",
 ]

@@ -5,48 +5,89 @@ packet length, and the static-table mode — so an element that appears in
 many pipelines (or at many positions of the same pipeline) is symbolically
 executed a single time, which is where the ``k * 2^n`` (rather than
 ``2^(k*n)``) cost of the decomposed approach comes from.
+
+The cache is tiered: this class is the in-process **L1**, and it can be
+backed by an on-disk :class:`repro.orchestrator.store.SummaryStore` (the
+**L2**) shared between worker processes and across runs.  An L2 hit loads
+and re-interns a previously serialized summary instead of re-executing the
+element symbolically.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..dataplane.element import Element
+from ..dataplane.fingerprint import configuration_fingerprint
 from ..symbex.engine import StaticTableMode, SymbexOptions, SymbolicEngine
 from ..symbex.segment import ElementSummary
 
 
 @dataclass
 class CacheStatistics:
-    hits: int = 0
+    """Traffic counters for the tiered summary cache.
+
+    ``l1_hits`` were answered from the in-process dict, ``l2_hits`` from
+    the on-disk store, and ``misses`` required a fresh symbolic execution.
+    ``entries`` is the number of summaries currently live in L1 — it is
+    maintained explicitly (not derived from the miss count), so it stays
+    correct across ``invalidate()`` and L2-served fills.
+    """
+
+    l1_hits: int = 0
+    l2_hits: int = 0
     misses: int = 0
+    entries: int = 0
     seconds_spent_summarizing: float = 0.0
 
     @property
-    def entries(self) -> int:
-        return self.misses
+    def hits(self) -> int:
+        """Total lookups answered without symbolic execution (L1 + L2)."""
+        return self.l1_hits + self.l2_hits
 
 
 class SummaryCache:
-    """Cache of Step-1 element summaries."""
+    """Tiered cache of Step-1 element summaries."""
 
     def __init__(
         self,
         options: Optional[SymbexOptions] = None,
+        store: Optional[object] = None,
     ) -> None:
         self.options = options or SymbexOptions()
+        #: Optional L2 tier: any object with ``load(element, length, mode)``
+        #: and ``save(element, length, mode, summary)`` — in practice a
+        #: :class:`repro.orchestrator.store.SummaryStore`.
+        self.store = store
         self._summaries: Dict[Tuple[str, int, str], ElementSummary] = {}
         self.statistics = CacheStatistics()
 
+    def _key(self, element: Element, input_length: int) -> Tuple[str, int, str]:
+        # The configuration fingerprint covers the config key, the program
+        # structure, and (in concrete mode) static-table contents — two
+        # elements share an entry iff symbolic execution would agree.
+        mode = self.options.static_table_mode
+        fingerprint = configuration_fingerprint(
+            element, include_static_tables=mode == StaticTableMode.CONCRETE
+        )
+        return (fingerprint, input_length, mode)
+
     def summarize(self, element: Element, input_length: int) -> ElementSummary:
         """Return the element's summary for the given input length, computing it if needed."""
-        key = (element.configuration_key(), input_length, self.options.static_table_mode)
+        mode = self.options.static_table_mode
+        key = self._key(element, input_length)
         cached = self._summaries.get(key)
         if cached is not None:
-            self.statistics.hits += 1
+            self.statistics.l1_hits += 1
             return cached
+        if self.store is not None:
+            stored = self.store.load(element, input_length, self.options)
+            if stored is not None:
+                self.statistics.l2_hits += 1
+                self._insert(key, stored)
+                return stored
         self.statistics.misses += 1
         started = time.perf_counter()
         engine = SymbolicEngine(self.options)
@@ -58,11 +99,27 @@ class SummaryCache:
             configuration_key=element.configuration_key(),
         )
         self.statistics.seconds_spent_summarizing += time.perf_counter() - started
-        self._summaries[key] = summary
+        self._insert(key, summary)
+        if self.store is not None:
+            self.store.save(element, input_length, self.options, summary)
         return summary
+
+    def contains(self, element: Element, input_length: int) -> bool:
+        """True if the summary is already resident in L1 (no L2 probe)."""
+        return self._key(element, input_length) in self._summaries
+
+    def seed(self, element: Element, input_length: int, summary: ElementSummary) -> None:
+        """Install a summary computed elsewhere (a worker process, a peer cache)."""
+        self._insert(self._key(element, input_length), summary)
+
+    def _insert(self, key: Tuple[str, int, str], summary: ElementSummary) -> None:
+        if key not in self._summaries:
+            self.statistics.entries += 1
+        self._summaries[key] = summary
 
     def invalidate(self) -> None:
         self._summaries.clear()
+        self.statistics.entries = 0
 
     def __len__(self) -> int:
         return len(self._summaries)

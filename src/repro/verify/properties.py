@@ -68,6 +68,15 @@ class BoundedInstructions(Property):
         return f"every packet executes at most {self.bound} instructions"
 
 
+def all_packets(packet_bytes: Sequence[Term]) -> Term:
+    """The default reachability predicate: every packet is of interest.
+
+    A named module-level function (not a lambda) so default-constructed
+    properties remain picklable for the fleet orchestrator's workers.
+    """
+    return smt.TRUE
+
+
 @dataclass
 class Reachability(Property):
     """Packets satisfying a predicate are never dropped (except by exempt elements).
@@ -80,7 +89,7 @@ class Reachability(Property):
     "unless it is malformed" qualifier).
     """
 
-    input_predicate: Callable[[Sequence[Term]], Term] = lambda packet_bytes: smt.TRUE
+    input_predicate: Callable[[Sequence[Term]], Term] = all_packets
     exempt_elements: Set[str] = field(default_factory=set)
     description: str = "packets of interest are always delivered"
     name: str = "reachability"
@@ -92,6 +101,24 @@ class Reachability(Property):
 
     def describe(self) -> str:
         return self.description
+
+
+@dataclass(frozen=True)
+class DestinationPredicate:
+    """Callable predicate "destination address equals X" (a class, not a
+    closure, so reachability properties survive pickling into the fleet
+    orchestrator's worker processes)."""
+
+    destination_ip: int
+    ip_header_offset: int = 0
+
+    def __call__(self, packet_bytes: Sequence[Term]) -> Term:
+        offset = self.ip_header_offset + 16  # destination address field
+        if offset + 4 > len(packet_bytes):
+            # The packet cannot even hold the field: no packet of interest.
+            return smt.FALSE
+        address = smt.Concat(*packet_bytes[offset : offset + 4])
+        return smt.Eq(address, smt.BitVecVal(self.destination_ip & 0xFFFFFFFF, 32))
 
 
 def destination_reachability(
@@ -106,16 +133,8 @@ def destination_reachability(
     pipeline starts after Ethernet decapsulation, 14 when it starts with
     the Ethernet header in place).
     """
-
-    def predicate(packet_bytes: Sequence[Term]) -> Term:
-        offset = ip_header_offset + 16  # destination address field
-        if offset + 4 > len(packet_bytes):
-            return smt.FALSE
-        address = smt.Concat(*packet_bytes[offset : offset + 4])
-        return smt.Eq(address, smt.BitVecVal(destination_ip & 0xFFFFFFFF, 32))
-
     return Reachability(
-        input_predicate=predicate,
+        input_predicate=DestinationPredicate(destination_ip, ip_header_offset),
         exempt_elements=exempt_elements or set(),
         description=(
             f"well-formed packets with destination {destination_ip & 0xFFFFFFFF:#010x} "

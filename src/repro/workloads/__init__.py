@@ -8,6 +8,7 @@ from .packets import (
     well_formed_ip_packet,
 )
 from .pipelines import (
+    fleet_catalog,
     ip_router_elements,
     ip_router_pipeline,
     nat_gateway_pipeline,
@@ -19,6 +20,7 @@ from .tables import random_classifier_rules, random_routing_table
 __all__ = [
     "PacketWorkload",
     "adversarial_packets",
+    "fleet_catalog",
     "ip_router_elements",
     "ip_router_pipeline",
     "malformed_ip_packets",

@@ -165,3 +165,57 @@ def synthetic_pipeline(
         for index in range(elements)
     ]
     return Pipeline.chain(chain, name=name or f"synthetic-{elements}x{branches_per_element}")
+
+
+def fleet_catalog(
+    count: int = 8,
+    verify_checksum: bool = False,
+    routes: Sequence[Tuple[str, int]] = DEFAULT_ROUTES,
+    name_prefix: str = "fleet",
+) -> List[Pipeline]:
+    """A deterministic catalog of ``count`` diverse pipelines for fleet certification.
+
+    The catalog cycles through templates that deliberately *share* element
+    configurations — every router variant starts with the same
+    CheckIPHeader and IPLookup configuration, the gateways share the
+    NetFlow/NAT pair — so the fleet orchestrator's cross-pipeline
+    deduplication has real work to do: the number of distinct Step-1 jobs
+    grows much slower than the number of pipelines.  Fresh element
+    *instances* are built per pipeline (elements own private state and can
+    belong to only one pipeline), but their configuration keys collide by
+    construction.
+    """
+
+    def router(length: int, index: int) -> Pipeline:
+        return ip_router_pipeline(
+            length=length,
+            verify_checksum=verify_checksum,
+            routes=routes,
+            name=f"{name_prefix}-{index}-router-{length}",
+        )
+
+    def gateway(index: int) -> Pipeline:
+        return nat_gateway_pipeline(
+            verify_checksum=verify_checksum, name=f"{name_prefix}-{index}-nat-gateway"
+        )
+
+    def branchy(index: int) -> Pipeline:
+        return synthetic_pipeline(3, 2, name=f"{name_prefix}-{index}-synthetic-3x2")
+
+    def monitored_router(index: int) -> Pipeline:
+        # Router prefix followed by the gateway's monitoring pair: shares
+        # element configurations with both template families.
+        elements = ip_router_elements(
+            3, verify_checksum=verify_checksum, routes=routes
+        ) + [NetFlow(name="edge_netflow"), NAT(name="edge_nat")]
+        return Pipeline.chain(elements, name=f"{name_prefix}-{index}-monitored-router")
+
+    templates = [
+        lambda index: router(2, index),
+        lambda index: router(3, index),
+        lambda index: router(4, index),
+        gateway,
+        branchy,
+        monitored_router,
+    ]
+    return [templates[index % len(templates)](index) for index in range(count)]

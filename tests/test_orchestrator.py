@@ -1,0 +1,431 @@
+"""Tests for the fleet orchestrator: serialization, store, workers, fleet API."""
+
+import json
+
+import pytest
+
+from repro import smt
+from repro.orchestrator import (
+    SummaryStore,
+    certify_fleet,
+    decode_terms,
+    dumps_summary,
+    encode_terms,
+    loads_summary,
+    program_fingerprint,
+    run_tasks,
+    summarize_jobs,
+    summary_key,
+)
+from repro.orchestrator.errors import OrchestratorError, SerializationError
+from repro.symbex import SymbexOptions
+from repro.symbex.engine import SymbolicEngine
+from repro.verify import CrashFreedom, PipelineVerifier, SummaryCache
+from repro.workloads import fleet_catalog, ip_router_elements, ip_router_pipeline
+from repro.workloads.pipelines import SyntheticBranchyElement
+
+
+CONCRETE = SymbexOptions(static_table_mode="concrete")
+HAVOC = SymbexOptions(static_table_mode="havoc")
+
+
+def _summarize(element, length=24, **options):
+    engine = SymbolicEngine(SymbexOptions(**options))
+    return engine.summarize_element(
+        element.program,
+        length,
+        tables=element.state.tables(),
+        element_name=element.name,
+        configuration_key=element.configuration_key(),
+    )
+
+
+class TestTermSerialization:
+    def test_roundtrip_reinterns_to_identical_terms(self):
+        x, y = smt.BitVec("x", 8), smt.BitVec("y", 8)
+        term = smt.And(smt.ULT(x, 10), smt.Eq(x + y, smt.BitVecVal(3, 8)))
+        decoded = decode_terms(encode_terms([term]))[0]
+        # Decoding re-interns: the canonical instance is *the same object*.
+        assert decoded is term
+
+    def test_shared_subterms_are_emitted_once(self):
+        x = smt.BitVec("x", 32)
+        shared = (x + 1) * (x + 1)
+        sum_term = shared + shared
+        payload = encode_terms([smt.Eq(sum_term, smt.BitVecVal(0, 32))])
+        # Node count equals the DAG size, not the tree size.
+        root = decode_terms(payload)[0]
+        assert len(payload["nodes"]) == root.size()
+
+    def test_multiple_roots_share_one_table(self):
+        x = smt.BitVec("x", 8)
+        a, b = smt.ULT(x, 5), smt.ULE(x, 5)
+        payload = encode_terms([a, b, a])
+        decoded = decode_terms(payload)
+        assert decoded[0] is a and decoded[1] is b and decoded[2] is a
+        # "x" appears once in the node list despite three roots using it.
+        variable_nodes = [n for n in payload["nodes"] if n[0] == smt.Op.BV_VAR]
+        assert len(variable_nodes) == 1
+
+    def test_bool_constants_roundtrip(self):
+        payload = encode_terms([smt.TRUE, smt.FALSE])
+        assert decode_terms(payload) == [smt.TRUE, smt.FALSE]
+
+    def test_version_mismatch_raises(self):
+        payload = encode_terms([smt.TRUE])
+        payload["version"] = 999
+        with pytest.raises(SerializationError):
+            decode_terms(payload)
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_terms({"version": 1, "nodes": [["bvadd", 8, [1, 1], None, None, []]], "roots": [0]})
+
+
+class TestSummarySerialization:
+    def test_roundtrip_preserves_segments(self):
+        element = ip_router_elements(3)[0]  # CheckIPHeader
+        summary = _summarize(element)
+        loaded = loads_summary(dumps_summary(summary))
+        assert loaded.element_name == summary.element_name
+        assert loaded.configuration_key == summary.configuration_key
+        assert loaded.input_length == summary.input_length
+        assert len(loaded.segments) == len(summary.segments)
+        for fresh, roundtripped in zip(summary.segments, loaded.segments):
+            assert roundtripped.constraint is fresh.constraint  # re-interned
+            assert roundtripped.outcome == fresh.outcome
+            assert roundtripped.port == fresh.port
+            assert roundtripped.instructions == fresh.instructions
+            assert tuple(roundtripped.output_bytes) == tuple(fresh.output_bytes)
+
+    def test_roundtrip_preserves_havoc_and_table_writes(self):
+        # NetFlow reads and writes its private flow table.
+        from repro.dataplane.elements import NetFlow
+
+        summary = _summarize(NetFlow(name="nf"), length=24)
+        loaded = loads_summary(dumps_summary(summary))
+        fresh_havocs = [s.havoc_reads for s in summary.segments]
+        loaded_havocs = [s.havoc_reads for s in loaded.segments]
+        assert loaded_havocs == fresh_havocs
+        assert any(s.table_writes for s in loaded.segments)
+
+    def test_loaded_summaries_verify_identically(self):
+        """The tentpole invariant: verification over loaded summaries equals
+        verification over freshly computed ones — verdicts and packets."""
+        pipeline = ip_router_pipeline(length=3)
+        fresh_verifier = PipelineVerifier(pipeline, options=SymbexOptions())
+        fresh = fresh_verifier.verify(CrashFreedom(), input_lengths=[24])
+
+        # Round-trip every cached summary through JSON into a new cache.
+        seeded = SummaryCache(SymbexOptions())
+        elements = {element.name: element for element in pipeline.elements}
+        for (config_key, length, _mode), summary in fresh_verifier.cache._summaries.items():
+            loaded = loads_summary(dumps_summary(summary))
+            seeded.seed(elements[loaded.element_name], length, loaded)
+
+        pipeline_again = ip_router_pipeline(length=3)
+        reverifier = PipelineVerifier(pipeline_again, options=SymbexOptions(), cache=seeded)
+        again = reverifier.verify(CrashFreedom(), input_lengths=[24])
+        assert seeded.statistics.misses == 0  # nothing re-executed
+        assert again.verdict == fresh.verdict
+        assert [c.packet for c in again.counterexamples] == [
+            c.packet for c in fresh.counterexamples
+        ]
+
+
+class TestSummaryStore:
+    def test_save_load(self, tmp_path):
+        element = ip_router_elements(1)[0]
+        summary = _summarize(element)
+        store = SummaryStore(tmp_path / "store")
+        digest = store.save(element, 24, CONCRETE, summary)
+        assert len(store) == 1
+        loaded = store.load(element, 24, CONCRETE)
+        assert loaded is not None and len(loaded.segments) == len(summary.segments)
+        assert store.statistics.hits == 1 and store.statistics.puts == 1
+        assert store.load_digest(digest) is not None
+
+    def test_missing_and_corrupt_entries_are_misses(self, tmp_path):
+        element = ip_router_elements(1)[0]
+        store = SummaryStore(tmp_path)
+        assert store.load(element, 24, CONCRETE) is None
+        digest = store.save(element, 24, CONCRETE, _summarize(element))
+        path = store._path(digest)
+        path.write_text("{not json")
+        assert store.load(element, 24, CONCRETE) is None
+        assert store.statistics.corrupt_entries == 1
+        # Version-mismatched payloads are also treated as misses.
+        path.write_text(json.dumps({"version": 999}))
+        assert store.load(element, 24, CONCRETE) is None
+
+    def test_key_distinguishes_length_mode_and_config(self):
+        a, b = SyntheticBranchyElement(2, name="a"), SyntheticBranchyElement(3, name="b")
+        assert summary_key(a, 24, CONCRETE) != summary_key(a, 32, CONCRETE)
+        assert summary_key(a, 24, CONCRETE) != summary_key(a, 24, HAVOC)
+        assert summary_key(a, 24, CONCRETE) != summary_key(b, 24, CONCRETE)
+
+    def test_key_covers_summary_shaping_options(self):
+        # Options that change summary content partition the store; the
+        # incremental toggle (differentially tested to agree) does not.
+        element = SyntheticBranchyElement(2, name="opts")
+        base = summary_key(element, 24, SymbexOptions())
+        assert base != summary_key(element, 24, SymbexOptions(prune_infeasible_branches=False))
+        assert base != summary_key(element, 24, SymbexOptions(solver_max_conflicts=10))
+        assert base == summary_key(element, 24, SymbexOptions(incremental=False))
+        assert base == summary_key(element, 24, SymbexOptions(max_paths=7))
+
+    def test_verifier_rejects_cache_plus_store(self, tmp_path):
+        from repro.verify import VerificationError
+
+        with pytest.raises(VerificationError):
+            PipelineVerifier(
+                ip_router_pipeline(length=1),
+                cache=SummaryCache(SymbexOptions()),
+                store=SummaryStore(tmp_path),
+            )
+
+    def test_key_covers_static_table_contents(self, tmp_path):
+        # Two elements with identical programs and default configuration
+        # keys but different *static table contents* must not share a
+        # store entry in concrete mode: the contents are baked into the
+        # summary terms, so serving one for the other is unsound.
+        from repro.dataplane import Element
+        from repro.dataplane.state import ElementState, StaticExactTable
+        from repro.ir import ElementProgram, ProgramBuilder
+
+        class StaticMarker(Element):
+            def __init__(self, entries, name=None):
+                super().__init__(name=name)
+                self.entries = entries
+
+            def build_program(self) -> ElementProgram:
+                builder = ProgramBuilder(self.name)
+                builder.declare_table("marks", kind="static")
+                key = builder.let("key", builder.load(0, 1))
+                value, found = builder.table_read("marks", key, "mark", "mark_found")
+                with builder.if_(found):
+                    builder.store(1, 1, value)
+                builder.emit(0)
+                return builder.build()
+
+            def create_state(self) -> ElementState:
+                state = ElementState()
+                state.add_table("marks", StaticExactTable(self.entries))
+                return state
+
+        first = StaticMarker({1: 2}, name="m1")
+        second = StaticMarker({1: 3}, name="m2")
+        assert summary_key(first, 24, CONCRETE) != summary_key(second, 24, CONCRETE)
+        # Under havoc'd tables the contents are unobservable: keys may share.
+        assert summary_key(first, 24, HAVOC) == summary_key(second, 24, HAVOC)
+
+        store = SummaryStore(tmp_path)
+        store.save(first, 24, CONCRETE, _summarize(first))
+        assert store.load(second, 24, CONCRETE) is None  # no stale hit
+
+    def test_key_ignores_instance_names(self):
+        # Same configuration, different instance names -> same store entry,
+        # even for programs whose loop ids embed the element name.
+        from repro.dataplane.elements import CheckIPHeader
+
+        first = CheckIPHeader(name="check_a", verify_checksum=True)
+        second = CheckIPHeader(name="check_b", verify_checksum=True)
+        assert program_fingerprint(first) == program_fingerprint(second)
+        assert summary_key(first, 24, CONCRETE) == summary_key(second, 24, CONCRETE)
+
+    def test_key_ignores_names_that_occur_in_the_render(self):
+        # A one-letter name like "e" appears all over a naive repr render
+        # ("PacketLength", "Reg") — the fingerprint must not depend on it.
+        from repro.dataplane.elements import Classifier
+
+        short = Classifier(["16/06"], name="e")
+        longer = Classifier(["16/06"], name="zz")
+        assert program_fingerprint(short) == program_fingerprint(longer)
+
+    def test_key_distinguishes_branch_body_configuration(self):
+        # If/While repr abbreviates nested blocks; the fingerprint render
+        # must recurse into them, or configs differing only inside a
+        # branch body would share (and poison) one summary.
+        from repro.dataplane import Element
+        from repro.ir import ElementProgram, ProgramBuilder
+
+        class Masker(Element):
+            def __init__(self, mask, name=None):
+                super().__init__(name=name)
+                self.mask = mask
+
+            def build_program(self) -> ElementProgram:
+                builder = ProgramBuilder(self.name)
+                value = builder.let("value", builder.load(0, 1))
+                with builder.if_(value > 0):
+                    builder.store(1, 1, builder.load(1, 1) & self.mask)
+                builder.emit(0)
+                return builder.build()
+
+        first, second = Masker(0x10, name="a"), Masker(0xF0, name="b")
+        assert program_fingerprint(first) != program_fingerprint(second)
+        assert summary_key(first, 4, CONCRETE) != summary_key(second, 4, CONCRETE)
+
+    def test_clear(self, tmp_path):
+        element = ip_router_elements(1)[0]
+        store = SummaryStore(tmp_path)
+        store.save(element, 24, CONCRETE, _summarize(element))
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+class TestTieredCache:
+    def test_l1_l2_miss_split_and_live_entries(self, tmp_path):
+        element = ip_router_elements(1)[0]
+        store = SummaryStore(tmp_path)
+        cache = SummaryCache(SymbexOptions(), store=store)
+
+        cache.summarize(element, 24)  # miss -> compute + write-through
+        cache.summarize(element, 24)  # L1 hit
+        assert (cache.statistics.misses, cache.statistics.l1_hits, cache.statistics.l2_hits) == (1, 1, 0)
+        assert cache.statistics.entries == 1
+        assert cache.statistics.hits == 1
+
+        cache.invalidate()
+        assert cache.statistics.entries == 0  # the satellite fix: not `misses`
+
+        cache.summarize(element, 24)  # L2 hit: loaded from store, no symbex
+        assert cache.statistics.l2_hits == 1
+        assert cache.statistics.misses == 1
+        assert cache.statistics.entries == 1
+
+    def test_entries_tracks_live_summaries_without_store(self):
+        cache = SummaryCache(SymbexOptions())
+        element = ip_router_elements(1)[0]
+        cache.summarize(element, 24)
+        cache.summarize(element, 32)
+        assert cache.statistics.entries == 2 == len(cache)
+        cache.invalidate()
+        assert cache.statistics.entries == 0 == len(cache)
+
+
+def _double(value):
+    return value * 2
+
+
+class TestWorkers:
+    def test_run_tasks_preserves_order(self):
+        payloads = list(range(8))
+        assert run_tasks(_double, payloads, workers=1) == run_tasks(_double, payloads, workers=3)
+
+    def test_summarize_jobs_parallel_matches_serial(self):
+        jobs = [
+            (SyntheticBranchyElement(2, name="s2"), 12),
+            (SyntheticBranchyElement(3, name="s3"), 12),
+        ]
+        options = SymbexOptions()
+        serial = summarize_jobs(jobs, options, workers=1)
+        parallel = summarize_jobs(jobs, options, workers=2)
+        for (_, fresh, _), (_, shipped, _) in zip(serial, parallel):
+            assert [s.outcome for s in fresh.segments] == [s.outcome for s in shipped.segments]
+            assert [s.constraint is t.constraint for s, t in zip(fresh.segments, shipped.segments)]
+
+    def test_summarize_jobs_uses_store(self, tmp_path):
+        from repro.orchestrator.workers import COMPUTED, LOADED
+
+        element = SyntheticBranchyElement(2, name="stored")
+        options = SymbexOptions()
+        first = summarize_jobs([(element, 12)], options, workers=1, store=str(tmp_path))
+        second = summarize_jobs([(element, 12)], options, workers=1, store=str(tmp_path))
+        assert first[0][0] == COMPUTED
+        assert second[0][0] == LOADED
+        assert len(second[0][1].segments) == len(first[0][1].segments)
+
+    def test_path_explosion_is_shipped_not_raised(self):
+        from repro.orchestrator.workers import EXPLODED
+
+        jobs = [(SyntheticBranchyElement(6, name="wide"), 12)]
+        results = summarize_jobs(jobs, SymbexOptions(max_paths=4), workers=2)
+        status, summary, detail = results[0]
+        assert status == EXPLODED and summary is None and "budget" in detail
+
+
+class TestFleet:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return fleet_catalog(4)
+
+    def test_serial_certification_and_dedupe(self, catalog):
+        report = certify_fleet(catalog, [CrashFreedom()], input_lengths=(24,))
+        assert len(report.certifications) == len(catalog)
+        assert all(c.certified for c in report.certifications)
+        stats = report.statistics
+        # The catalog shares element configurations: far fewer distinct
+        # Step-1 jobs than element instances.
+        assert stats.distinct_summary_jobs < stats.element_instances
+        assert stats.summaries_computed == stats.distinct_summary_jobs
+
+    def test_warm_store_computes_nothing(self, catalog, tmp_path):
+        store = SummaryStore(tmp_path)
+        cold = certify_fleet(catalog, [CrashFreedom()], input_lengths=(24,), store=store)
+        warm = certify_fleet(
+            fleet_catalog(4), [CrashFreedom()], input_lengths=(24,), store=SummaryStore(tmp_path)
+        )
+        assert cold.statistics.summaries_computed > 0
+        assert warm.statistics.summaries_computed == 0
+        assert warm.statistics.store_hits == cold.statistics.summaries_computed
+        assert warm.verdicts() == cold.verdicts()
+
+    def test_parallel_matches_serial(self, catalog, tmp_path):
+        serial = certify_fleet(catalog, [CrashFreedom()], input_lengths=(24,))
+        parallel = certify_fleet(
+            fleet_catalog(4),
+            [CrashFreedom()],
+            input_lengths=(24,),
+            workers=2,
+            store=SummaryStore(tmp_path),
+        )
+        assert parallel.verdicts() == serial.verdicts()
+        serial_packets = [
+            [ce.packet for result in c.results for ce in result.counterexamples]
+            for c in serial.certifications
+        ]
+        parallel_packets = [
+            [ce.packet for result in c.results for ce in result.counterexamples]
+            for c in parallel.certifications
+        ]
+        assert parallel_packets == serial_packets
+
+    def test_parallel_without_store_uses_ephemeral(self):
+        report = certify_fleet(fleet_catalog(2), [CrashFreedom()], input_lengths=(24,), workers=2)
+        assert len(report.certifications) == 2
+
+    def test_budget_explosion_degrades_identically_in_both_modes(self):
+        from repro.workloads import synthetic_pipeline
+
+        options = SymbexOptions(max_paths=4)  # starves Step-1
+        serial = certify_fleet(
+            [synthetic_pipeline(4, 3, name="boom")], [CrashFreedom()],
+            input_lengths=(12,), workers=1, options=options,
+        )
+        parallel = certify_fleet(
+            [synthetic_pipeline(4, 3, name="boom")], [CrashFreedom()],
+            input_lengths=(12,), workers=2, options=options,
+        )
+        assert serial.verdicts() == parallel.verdicts()
+        assert serial.verdicts()[0][2] == "unknown"
+
+    def test_instruction_bounds(self):
+        report = certify_fleet(
+            fleet_catalog(2), [CrashFreedom()], input_lengths=(24,), instruction_bounds=True
+        )
+        assert all(
+            c.instruction_bound is not None and c.instruction_bound.bound > 0
+            for c in report.certifications
+        )
+
+    def test_rejects_multi_entry_pipeline(self):
+        from repro.dataplane import Pipeline
+        from repro.dataplane.elements import Discard
+
+        pipeline = Pipeline(name="two-entries")
+        sink = Discard(name="sink")
+        pipeline.connect(SyntheticBranchyElement(1, name="a"), sink)
+        pipeline.connect(SyntheticBranchyElement(1, offset=2, name="b"), sink)
+        with pytest.raises(OrchestratorError):
+            certify_fleet([pipeline], [CrashFreedom()])

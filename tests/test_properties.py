@@ -1,0 +1,132 @@
+"""Tests for the property classifiers in ``repro.verify.properties``."""
+
+import pickle
+
+from repro import smt
+from repro.dataplane import Pipeline
+from repro.dataplane.elements import CheckIPHeader, DecIPTTL
+from repro.symbex.segment import SegmentOutcome, SegmentSummary
+from repro.verify import (
+    BoundedInstructions,
+    CrashFreedom,
+    PipelineVerifier,
+    Reachability,
+    all_packets,
+    destination_reachability,
+)
+
+
+def _segment(outcome, instructions=0, element="el"):
+    return SegmentSummary(
+        element_name=element,
+        index=0,
+        outcome=outcome,
+        constraint=smt.TRUE,
+        port=0 if outcome == SegmentOutcome.EMIT else None,
+        instructions=instructions,
+    )
+
+
+class TestReachabilitySuspects:
+    def test_drop_segments_are_suspect(self):
+        prop = Reachability()
+        assert prop.is_suspect("el", _segment(SegmentOutcome.DROP))
+        assert not prop.is_suspect("el", _segment(SegmentOutcome.EMIT))
+        assert not prop.is_suspect("el", _segment(SegmentOutcome.CRASH))
+
+    def test_exempt_elements_suppress_drops(self):
+        prop = Reachability(exempt_elements={"check_ip"})
+        drop = _segment(SegmentOutcome.DROP, element="check_ip")
+        assert not prop.is_suspect("check_ip", drop)
+        # The same segment shape from a non-exempt element stays suspect.
+        assert prop.is_suspect("dec_ttl", _segment(SegmentOutcome.DROP, element="dec_ttl"))
+
+    def test_exemption_flips_the_verdict(self):
+        # CheckIPHeader drops malformed packets; the paper's "unless it is
+        # malformed" qualifier is exactly the exemption mechanism.
+        destination = 0x0A000001
+        pipeline = Pipeline.chain([CheckIPHeader(name="check_ip")], name="check-only")
+        strict = PipelineVerifier(pipeline).verify(
+            destination_reachability(destination), input_lengths=[24]
+        )
+        assert strict.violated  # a malformed packet to 10.0.0.1 is dropped
+
+        pipeline_again = Pipeline.chain([CheckIPHeader(name="check_ip")], name="check-only")
+        lenient = PipelineVerifier(pipeline_again).verify(
+            destination_reachability(destination, exempt_elements={"check_ip"}),
+            input_lengths=[24],
+        )
+        assert lenient.proved
+
+    def test_default_predicate_admits_all_packets(self):
+        assert all_packets([]) is smt.TRUE
+        assert Reachability().input_predicate([]) is smt.TRUE
+
+    def test_properties_are_picklable(self):
+        prop = destination_reachability(0x0A000001, exempt_elements={"check_ip"})
+        clone = pickle.loads(pickle.dumps(prop))
+        packet_bytes = [smt.BitVec(f"in_b{i}", 8) for i in range(24)]
+        assert clone.input_predicate(packet_bytes) is prop.input_predicate(packet_bytes)
+        assert clone.exempt_elements == prop.exempt_elements
+        pickle.loads(pickle.dumps(Reachability()))  # default predicate too
+
+
+class TestBoundedInstructionsBoundary:
+    def test_at_the_bound_is_not_suspect(self):
+        prop = BoundedInstructions(bound=100)
+        assert not prop.is_suspect("el", _segment(SegmentOutcome.EMIT, instructions=100))
+
+    def test_one_over_the_bound_is_suspect(self):
+        prop = BoundedInstructions(bound=100)
+        assert prop.is_suspect("el", _segment(SegmentOutcome.EMIT, instructions=101))
+        assert not prop.is_suspect("el", _segment(SegmentOutcome.EMIT, instructions=99))
+
+    def test_verifier_proves_a_generous_bound_and_refutes_a_tight_one(self):
+        pipeline = Pipeline.chain([DecIPTTL(name="ttl")], name="ttl-only")
+        verifier = PipelineVerifier(pipeline)
+        bound = verifier.instruction_bound(input_lengths=[24], find_witness=False).bound
+        generous = verifier.verify(BoundedInstructions(bound=bound), input_lengths=[24])
+        assert generous.proved  # segments at exactly the bound are fine
+        tight = PipelineVerifier(
+            Pipeline.chain([DecIPTTL(name="ttl")], name="ttl-only")
+        ).verify(BoundedInstructions(bound=bound - 1), input_lengths=[24])
+        assert tight.violated
+
+
+class TestDestinationReachabilityOffsets:
+    def test_too_short_packet_yields_no_packets_of_interest(self):
+        prop = destination_reachability(0x0A000001)
+        # 16-byte packets cannot hold the destination field at offset 16..19.
+        packet_bytes = [smt.BitVec(f"in_b{i}", 8) for i in range(16)]
+        assert prop.input_predicate(packet_bytes) is smt.FALSE
+
+    def test_boundary_length_exactly_fits_the_field(self):
+        prop = destination_reachability(0x0A000001)
+        packet_bytes = [smt.BitVec(f"in_b{i}", 8) for i in range(20)]
+        predicate = prop.input_predicate(packet_bytes)
+        assert predicate is not smt.FALSE
+        names = set(predicate.free_variables())
+        assert names == {"in_b16", "in_b17", "in_b18", "in_b19"}
+
+    def test_header_offset_shifts_the_field(self):
+        prop = destination_reachability(0x0A000001, ip_header_offset=14)
+        # 33 bytes: field would occupy 30..33 -> does not fit.
+        assert prop.input_predicate([smt.BitVec(f"in_b{i}", 8) for i in range(33)]) is smt.FALSE
+        predicate = prop.input_predicate([smt.BitVec(f"in_b{i}", 8) for i in range(34)])
+        assert set(predicate.free_variables()) == {"in_b30", "in_b31", "in_b32", "in_b33"}
+
+    def test_too_short_length_proves_trivially(self):
+        # With no packets of interest the property holds vacuously — the
+        # verifier must not crash composing an unsatisfiable predicate.
+        pipeline = Pipeline.chain([CheckIPHeader(name="check_ip")], name="check-only")
+        result = PipelineVerifier(pipeline).verify(
+            destination_reachability(0x0A000001), input_lengths=[8]
+        )
+        assert result.proved
+
+
+def test_crash_freedom_suspects_only_crashes():
+    prop = CrashFreedom()
+    assert prop.is_suspect("el", _segment(SegmentOutcome.CRASH))
+    assert not prop.is_suspect("el", _segment(SegmentOutcome.DROP))
+    assert not prop.is_suspect("el", _segment(SegmentOutcome.EMIT))
