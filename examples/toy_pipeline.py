@@ -14,11 +14,10 @@ first byte of the packet interpreted as a signed value, so the same
 element machinery (packets in, packets out) is exercised.
 """
 
-from typing import Optional
 
 from repro.dataplane import Element, Pipeline
 from repro.ir import ElementProgram, ProgramBuilder
-from repro.symbex import SymbexOptions, SymbolicEngine, SymbolicPacket
+from repro.symbex import SymbexOptions, SymbolicEngine
 from repro.verify import CrashFreedom, PipelineVerifier
 
 

@@ -1,0 +1,21 @@
+"""``repro.cli`` — the operator/CI front door: ``python -m repro``.
+
+Everything the orchestrator layer can do — full and delta fleet
+certification, catalog diffing, benchmark-regression gating, store
+maintenance — drivable from a shell, with human *and* machine (JSON)
+output and exit codes CI can gate on:
+
+========== ==========================================================
+``0``      every pipeline certified (``certify``) / no differences
+           (``diff``) / no regression (``bench-compare``)
+``1``      a property is violated / catalogs differ / a tracked
+           benchmark metric regressed past tolerance
+``2``      a verdict is ``unknown`` (budget exhausted) — neither
+           proved nor refuted, so neither success nor failure
+``64``     usage error (bad flags, unparseable spec, missing file)
+========== ==========================================================
+"""
+
+from .main import main
+
+__all__ = ["main"]

@@ -1,0 +1,182 @@
+"""The benchmark-regression gate: compare ``BENCH_*.json`` against baselines.
+
+Every benchmark in ``benchmarks/`` writes a machine-readable
+``BENCH_<name>.json``.  A *baseline* file
+(``benchmarks/baselines/<name>.json``) pins the metrics worth gating on:
+
+.. code-block:: json
+
+    {
+      "bench": "fleet",
+      "metrics": {
+        "warm_summaries_computed": {"value": 0, "direction": "lower", "tolerance": 0},
+        "speedup_vs_serial":       {"value": 0.75, "direction": "higher"}
+      }
+    }
+
+``direction`` says which way is better: ``lower`` metrics (seconds,
+work counters) fail when the current value exceeds
+``value * (1 + tolerance)``; ``higher`` metrics (speedups, counts of
+certified pipelines) fail when it drops below ``value * (1 - tolerance)``.
+A per-metric ``tolerance`` overrides the run-wide one — deterministic
+counters are pinned with ``0``, wall-clock-adjacent ratios get slack.
+Dotted metric names (``verify.speedup``) reach into nested result dicts.
+
+A missing current file, missing metric, or non-numeric value **fails the
+gate**: a gate that silently passes when a benchmark disappears guards
+nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+__all__ = ["MetricCheck", "compare_baselines", "format_checks"]
+
+
+@dataclass
+class MetricCheck:
+    """One gated metric's verdict."""
+
+    bench: str
+    metric: str
+    direction: str
+    baseline: Optional[float]
+    limit: Optional[float]
+    current: Optional[float]
+    ok: bool
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "bench": self.bench,
+            "metric": self.metric,
+            "direction": self.direction,
+            "baseline": self.baseline,
+            "limit": self.limit,
+            "current": self.current,
+            "ok": self.ok,
+            "note": self.note,
+        }
+
+
+def _lookup(results: object, dotted: str) -> object:
+    value: object = results
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def _check_metric(
+    bench: str,
+    metric: str,
+    specification: dict,
+    results: Optional[dict],
+    tolerance: float,
+) -> MetricCheck:
+    direction = specification.get("direction", "lower")
+    slack = specification.get("tolerance", tolerance)
+    baseline = specification.get("value")
+    if direction not in ("lower", "higher") or not isinstance(baseline, (int, float)):
+        return MetricCheck(
+            bench, metric, str(direction), None, None, None, False,
+            "malformed baseline entry (needs numeric 'value' and direction lower|higher)",
+        )
+    limit = baseline * (1 + slack) if direction == "lower" else baseline * (1 - slack)
+    if results is None:
+        return MetricCheck(
+            bench, metric, direction, float(baseline), limit, None, False,
+            f"no BENCH_{bench}.json in the current run",
+        )
+    current = _lookup(results, metric)
+    if isinstance(current, bool) or not isinstance(current, (int, float)):
+        return MetricCheck(
+            bench, metric, direction, float(baseline), limit, None, False,
+            f"metric missing or non-numeric in BENCH_{bench}.json (got {current!r})",
+        )
+    ok = current <= limit if direction == "lower" else current >= limit
+    note = "" if ok else (
+        f"regressed: {current:g} {'>' if direction == 'lower' else '<'} "
+        f"allowed {limit:g} (baseline {baseline:g}, tolerance {slack:g})"
+    )
+    return MetricCheck(bench, metric, direction, float(baseline), limit, float(current), ok, note)
+
+
+def compare_baselines(
+    baseline_path: Path, current_dir: Path, tolerance: float
+) -> Tuple[List[MetricCheck], bool]:
+    """Check every baseline under ``baseline_path`` against ``current_dir``.
+
+    ``baseline_path`` may be one baseline file or a directory of them.
+    Returns (per-metric checks, all-ok).
+    """
+    if baseline_path.is_dir():
+        baseline_files = sorted(baseline_path.glob("*.json"))
+    elif baseline_path.is_file():
+        baseline_files = [baseline_path]
+    else:
+        return (
+            [MetricCheck("-", "-", "-", None, None, None, False,
+                         f"baseline path {baseline_path} does not exist")],
+            False,
+        )
+    if not baseline_files:
+        return (
+            [MetricCheck("-", "-", "-", None, None, None, False,
+                         f"no baseline *.json files under {baseline_path}")],
+            False,
+        )
+
+    checks: List[MetricCheck] = []
+    for baseline_file in baseline_files:
+        try:
+            baseline = json.loads(baseline_file.read_text())
+            bench = baseline["bench"]
+            metrics = baseline["metrics"]
+        except Exception as exc:
+            checks.append(
+                MetricCheck(baseline_file.stem, "-", "-", None, None, None, False,
+                            f"unreadable baseline {baseline_file}: {exc}")
+            )
+            continue
+        results: Optional[dict] = None
+        current_file = current_dir / f"BENCH_{bench}.json"
+        if current_file.is_file():
+            try:
+                results = json.loads(current_file.read_text()).get("results")
+            except Exception:
+                results = None
+        for metric in sorted(metrics):
+            checks.append(_check_metric(bench, metric, metrics[metric], results, tolerance))
+    return checks, all(check.ok for check in checks)
+
+
+def format_checks(checks: List[MetricCheck]) -> str:
+    """The per-metric table ``repro bench-compare`` prints."""
+    headers = ("bench", "metric", "baseline", "current", "allowed", "status")
+    rows = [headers]
+    for check in checks:
+        comparator = "<=" if check.direction == "lower" else ">="
+        rows.append(
+            (
+                check.bench,
+                check.metric,
+                "-" if check.baseline is None else f"{check.baseline:g}",
+                "-" if check.current is None else f"{check.current:g}",
+                "-" if check.limit is None else f"{comparator}{check.limit:g}",
+                "ok" if check.ok else "FAIL",
+            )
+        )
+    widths = [max(len(row[column]) for row in rows) for column in range(len(headers))]
+    lines = ["  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    for check in checks:
+        if not check.ok and check.note:
+            lines.append(f"  {check.bench}/{check.metric}: {check.note}")
+    return "\n".join(lines)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ...ir.builder import ProgramBuilder
 from ...ir.program import ElementProgram

@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from ...ir.builder import ProgramBuilder
 from ...ir.program import ElementProgram
-from ...net.addresses import IPv4Address, IPv4Prefix
+from ...net.addresses import IPv4Prefix
 from ...net.headers import (
     IPPROTO_TCP,
     IPPROTO_UDP,

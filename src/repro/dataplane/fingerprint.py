@@ -15,10 +15,14 @@ state are immutable once built, and the render walk is not free.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence
 
 from ..ir.stmts import If, Stmt, While
 from .element import Element
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports element)
+    from .pipeline import Pipeline
 
 _MEMO_ATTRIBUTE = "_configuration_fingerprint_memo"
 
@@ -63,25 +67,38 @@ def program_fingerprint(element: Element) -> str:
     return hashlib.sha256(rendered.encode()).hexdigest()
 
 
+def static_table_fingerprints(element: Element) -> Dict[str, str]:
+    """Per-table content fingerprints of the element's *static* tables.
+
+    Tables advertise their own ``fingerprint()``; an unknown static-table
+    type falls back to an identity no other element or run can share —
+    trading reuse (and diff precision: an opaque table always reads as
+    changed) for soundness.  Private tables are havoc'd, so their contents
+    are never observed and never fingerprinted.
+    """
+    fingerprints: Dict[str, str] = {}
+    for name, table in sorted(element.state.tables().items()):
+        if getattr(table, "kind", "private") != "static":
+            continue
+        fingerprint = getattr(table, "fingerprint", None)
+        if callable(fingerprint):
+            fingerprints[name] = fingerprint()
+        else:
+            fingerprints[name] = f"opaque:{type(table).__qualname__}:{id(table)}"
+    return fingerprints
+
+
 def static_state_fingerprint(element: Element) -> str:
     """Fingerprint the contents of the element's static tables.
 
     In concrete static-table mode the engine bakes these contents into
     the summary (``symbolic_read`` cascades), so they are part of the
-    summary's identity.  Tables advertise their own ``fingerprint()``;
-    an unknown static-table type falls back to an identity no other
-    element or run can share — trading reuse for soundness.
+    summary's identity.
     """
-    parts = []
-    for name, table in sorted(element.state.tables().items()):
-        if getattr(table, "kind", "private") != "static":
-            continue  # private tables are havoc'd: contents never observed
-        fingerprint = getattr(table, "fingerprint", None)
-        if callable(fingerprint):
-            parts.append(f"{name}={fingerprint()}")
-        else:
-            parts.append(f"{name}=opaque:{type(table).__qualname__}:{id(table)}")
-    return ";".join(parts)
+    return ";".join(
+        f"{name}={fingerprint}"
+        for name, fingerprint in static_table_fingerprints(element).items()
+    )
 
 
 def configuration_fingerprint(element: Element, include_static_tables: bool) -> str:
@@ -106,3 +123,134 @@ def configuration_fingerprint(element: Element, include_static_tables: bool) -> 
     memo[include_static_tables] = digest
     setattr(element, _MEMO_ATTRIBUTE, memo)
     return digest
+
+
+# -- diffable decomposition (the change-impact engine's raw material) -----------------
+
+
+@dataclass(frozen=True)
+class ElementFingerprintParts:
+    """One element's summary identity, decomposed into independently diffable parts.
+
+    :func:`configuration_fingerprint` collapses everything into one digest
+    — perfect for cache keys, useless for explaining *what* changed.  The
+    parts keep the axes separate, so a differ can tell "the IR program
+    changed" from "only the contents of table ``routes`` changed".
+    """
+
+    configuration_key: str
+    program: str
+    #: Per-static-table content fingerprints; empty under havoc'd tables,
+    #: where contents are unobservable and deliberately excluded.
+    static_tables: Mapping[str, str] = field(default_factory=dict)
+    #: Whether table contents participate at all (concrete static-table
+    #: mode).  Kept explicit so :attr:`combined` reproduces
+    #: :func:`configuration_fingerprint` byte-for-byte — a table-free
+    #: element in concrete mode is not the same identity as havoc mode.
+    includes_static_tables: bool = True
+
+    @property
+    def combined(self) -> str:
+        """The single digest over all parts (matches :func:`configuration_fingerprint`)."""
+        material = "\x1f".join(
+            (
+                self.configuration_key,
+                self.program,
+                ";".join(f"{name}={fp}" for name, fp in sorted(self.static_tables.items()))
+                if self.includes_static_tables
+                else "-",
+            )
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+
+def element_fingerprint_parts(
+    element: Element, include_static_tables: bool
+) -> ElementFingerprintParts:
+    """Decompose one element's configuration fingerprint into its diffable parts."""
+    return ElementFingerprintParts(
+        configuration_key=element.configuration_key(),
+        program=program_fingerprint(element),
+        static_tables=static_table_fingerprints(element) if include_static_tables else {},
+        includes_static_tables=include_static_tables,
+    )
+
+
+def canonical_elements(pipeline: "Pipeline") -> List[Element]:
+    """Elements in a name-independent canonical order.
+
+    BFS from the entry elements (ordered by configuration fingerprint),
+    expanding output ports in ascending order, so a pipeline rebuilt with
+    renamed but identically configured and identically wired elements
+    enumerates in the same order.  Unreachable elements (none, in a valid
+    pipeline) are appended in construction order as a deterministic
+    fallback.
+    """
+    ordered: List[Element] = []
+    seen: set = set()
+    frontier = sorted(
+        pipeline.entry_elements(),
+        key=lambda element: configuration_fingerprint(element, include_static_tables=False),
+    )
+    while frontier:
+        element = frontier.pop(0)
+        if id(element) in seen:
+            continue
+        seen.add(id(element))
+        ordered.append(element)
+        for port in range(element.num_output_ports):
+            downstream = pipeline.downstream(element, port)
+            if downstream is not None and id(downstream[0]) not in seen:
+                frontier.append(downstream[0])
+    for element in pipeline.elements:
+        if id(element) not in seen:
+            seen.add(id(element))
+            ordered.append(element)
+    return ordered
+
+
+def wiring_fingerprint(pipeline: "Pipeline") -> str:
+    """A structural digest of the pipeline graph, independent of element names.
+
+    Covers which canonical slot connects to which through which ports (and
+    each slot's port count) — but *not* the element configurations, so a
+    differ can separate "the graph was rewired" from "an element changed
+    in place".
+    """
+    ordered = canonical_elements(pipeline)
+    slots = {id(element): index for index, element in enumerate(ordered)}
+    edges = []
+    for element in ordered:
+        for port in range(element.num_output_ports):
+            downstream = pipeline.downstream(element, port)
+            if downstream is not None:
+                edges.append(
+                    f"{slots[id(element)]}.{port}>{slots[id(downstream[0])]}.{downstream[1]}"
+                )
+    rendered = "|".join(
+        (
+            f"slots={len(ordered)}",
+            ";".join(f"{index}:{element.num_output_ports}" for index, element in enumerate(ordered)),
+            ";".join(sorted(edges)),
+        )
+    )
+    return hashlib.sha256(rendered.encode()).hexdigest()
+
+
+def pipeline_fingerprint(pipeline: "Pipeline", include_static_tables: bool) -> str:
+    """The full verification identity of one pipeline configuration.
+
+    Two pipelines share a fingerprint iff they are the same graph of the
+    same element configurations (and, in concrete static-table mode, the
+    same table contents) — names play no part, so a no-op rename keeps the
+    fingerprint.  This is the content-address the verdict store keys on:
+    any change that could alter a verdict changes the fingerprint.
+    """
+    material = "\x1f".join(
+        [wiring_fingerprint(pipeline)]
+        + [
+            configuration_fingerprint(element, include_static_tables=include_static_tables)
+            for element in canonical_elements(pipeline)
+        ]
+    )
+    return hashlib.sha256(material.encode()).hexdigest()

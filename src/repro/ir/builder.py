@@ -18,10 +18,10 @@ statement sinks so nested blocks end up in the right place.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional
 
 from .errors import BuilderError
-from .exprs import Const, Expr, ExprLike, LoadField, LoadMeta, PacketLength, Reg, as_expr
+from .exprs import Const, Expr, ExprLike, LoadField, LoadMeta, PacketLength, Reg
 from .program import ElementProgram, TableDeclaration
 from .stmts import (
     Assert,

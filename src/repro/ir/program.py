@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
-from .exprs import Expr, LoadField, LoadMeta, PacketLength, Reg
+from .exprs import Expr, LoadField, LoadMeta, PacketLength
 from .stmts import (
     Assign,
     Stmt,

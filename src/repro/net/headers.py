@@ -12,7 +12,7 @@ so both sides agree on the wire format.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 from .addresses import EthernetAddress, IPv4Address
 from .checksum import internet_checksum

@@ -1,23 +1,46 @@
 """``repro.orchestrator`` — fleet-scale verification on top of the two-step verifier.
 
 The sixth architectural layer: stable DAG serialization for hash-consed
-summaries (:mod:`serialize`), a content-addressed on-disk summary store
-shared across processes and runs (:mod:`store`), multiprocessing workers
-with deterministic merging (:mod:`workers`), and the batch certification
-API (:mod:`fleet`).
+summaries (:mod:`serialize`), content-addressed on-disk stores shared
+across processes and runs (:mod:`store` for Step-1 summaries,
+:mod:`verdicts` for whole per-pipeline certification records),
+multiprocessing workers with deterministic merging (:mod:`workers`), the
+batch certification API (:mod:`fleet`), and the change-impact engine that
+makes re-certification proportional to a configuration diff
+(:mod:`impact`).
 
 Typical usage::
 
-    from repro.orchestrator import SummaryStore, certify_fleet
+    from repro.orchestrator import SummaryStore, VerdictStore, certify_fleet
     from repro.verify import CrashFreedom
 
     store = SummaryStore("~/.cache/repro-summaries")
-    report = certify_fleet(catalog, [CrashFreedom()], workers=4, store=store)
-    print(report.summary())
+    verdicts = VerdictStore("~/.cache/repro-verdicts")
+    report = certify_fleet(
+        catalog, [CrashFreedom()], workers=4, store=store, verdict_store=verdicts
+    )
+    print(report.summary())   # unchanged pipelines: delta-reused, zero work
 """
 
 from .errors import OrchestratorError, SerializationError, StoreError, WorkerError
-from .fleet import FleetReport, FleetStatistics, PipelineCertification, certify_fleet
+from .fleet import (
+    DELTA_REUSED,
+    FRESH,
+    FleetReport,
+    FleetStatistics,
+    PipelineCertification,
+    certify_fleet,
+)
+from .impact import (
+    MANIFEST_VERSION,
+    CatalogImpact,
+    PipelineImpact,
+    RecertificationReport,
+    catalog_manifest,
+    diff_catalogs,
+    diff_manifests,
+    recertify,
+)
 from .serialize import (
     FORMAT_VERSION,
     TermLoader,
@@ -29,31 +52,62 @@ from .serialize import (
     summary_from_payload,
     summary_to_payload,
 )
-from .store import StoreStatistics, SummaryStore, program_fingerprint, summary_key
+from .store import (
+    GcResult,
+    JsonFileStore,
+    StoreStatistics,
+    SummaryStore,
+    program_fingerprint,
+    summary_key,
+)
+from .verdicts import (
+    RECORD_VERSION,
+    VerdictStore,
+    property_fingerprint,
+    property_set_fingerprint,
+    verdict_key,
+)
 from .workers import run_tasks, summarize_jobs
 
 __all__ = [
+    "DELTA_REUSED",
     "FORMAT_VERSION",
+    "FRESH",
+    "MANIFEST_VERSION",
+    "RECORD_VERSION",
+    "CatalogImpact",
     "FleetReport",
     "FleetStatistics",
+    "GcResult",
+    "JsonFileStore",
     "OrchestratorError",
     "PipelineCertification",
+    "PipelineImpact",
+    "RecertificationReport",
     "SerializationError",
     "StoreError",
     "StoreStatistics",
     "SummaryStore",
     "TermLoader",
     "TermTable",
+    "VerdictStore",
     "WorkerError",
+    "catalog_manifest",
     "certify_fleet",
     "decode_terms",
+    "diff_catalogs",
+    "diff_manifests",
     "dumps_summary",
     "encode_terms",
     "loads_summary",
     "program_fingerprint",
+    "property_fingerprint",
+    "property_set_fingerprint",
+    "recertify",
     "run_tasks",
     "summarize_jobs",
     "summary_from_payload",
     "summary_key",
     "summary_to_payload",
+    "verdict_key",
 ]

@@ -32,15 +32,23 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..dataplane.element import Element
+from ..dataplane.fingerprint import pipeline_fingerprint
 from ..dataplane.pipeline import Pipeline
-from ..symbex.engine import SymbexOptions
+from ..symbex.engine import StaticTableMode, SymbexOptions
 from ..verify.cache import SummaryCache
 from ..verify.pipeline_verifier import PipelineVerifier
 from ..verify.properties import Property
 from ..verify.report import InstructionBoundResult, VerificationResult
 from .errors import OrchestratorError
 from .store import SummaryStore
+from .verdicts import VerdictStore, verdict_key
 from .workers import COMPUTED, EXPLODED, job_digest, run_tasks, summarize_jobs
+
+#: Provenance labels: the certification was verified on this run, ...
+FRESH = "fresh"
+#: ... or reused from the verdict store because the pipeline's fingerprint
+#: (and the whole verification request) was unchanged.
+DELTA_REUSED = "delta-reused"
 
 
 @dataclass
@@ -50,14 +58,63 @@ class PipelineCertification:
     pipeline_name: str
     results: List[VerificationResult] = field(default_factory=list)
     instruction_bound: Optional[InstructionBoundResult] = None
+    #: :data:`FRESH` when verified on this run, :data:`DELTA_REUSED` when
+    #: served from the verdict store.  Reused certifications' statistics
+    #: describe the run that originally computed them, so the fleet-level
+    #: counters deliberately exclude them.
+    provenance: str = FRESH
+    #: Why this pipeline was (or was not) re-verified, as human-readable
+    #: impact provenance ("element lookup: contents of static table
+    #: 'routes' changed", "unchanged configuration", ...).  Filled by the
+    #: change-impact engine; plain ``certify_fleet`` leaves it empty.
+    impact_causes: List[str] = field(default_factory=list)
 
     @property
     def certified(self) -> bool:
         return all(result.proved for result in self.results)
 
+    @property
+    def reused(self) -> bool:
+        return self.provenance == DELTA_REUSED
+
     def __repr__(self) -> str:
         verdicts = ", ".join(f"{r.property_name}={r.verdict}" for r in self.results)
         return f"PipelineCertification({self.pipeline_name!r}, {verdicts})"
+
+    def to_dict(self) -> dict:
+        return {
+            "pipeline_name": self.pipeline_name,
+            "results": [result.to_dict() for result in self.results],
+            "instruction_bound": (
+                self.instruction_bound.to_dict() if self.instruction_bound else None
+            ),
+            "provenance": self.provenance,
+            "impact_causes": list(self.impact_causes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineCertification":
+        bound = payload.get("instruction_bound")
+        return cls(
+            pipeline_name=payload["pipeline_name"],
+            results=[VerificationResult.from_dict(r) for r in payload.get("results", [])],
+            instruction_bound=InstructionBoundResult.from_dict(bound) if bound else None,
+            provenance=payload.get("provenance", FRESH),
+            impact_causes=list(payload.get("impact_causes", [])),
+        )
+
+    def relabel(self, pipeline_name: str) -> None:
+        """Adopt the current catalog's name for this pipeline.
+
+        Verdict records are content-addressed by fingerprint, which
+        normalizes names out — a renamed-but-identical pipeline hits the
+        record stored under its old name.
+        """
+        self.pipeline_name = pipeline_name
+        for result in self.results:
+            result.pipeline_name = pipeline_name
+        if self.instruction_bound is not None:
+            self.instruction_bound.pipeline_name = pipeline_name
 
 
 @dataclass
@@ -81,6 +138,12 @@ class FleetStatistics:
     solver_checks: int = 0
     composed_paths_checked: int = 0
     counterexamples: int = 0
+    #: Delta-mode split: pipelines verified on this run vs. served whole
+    #: from the verdict store.  Reused pipelines contribute *nothing* to
+    #: the work counters above — zero symbolic executions, zero solver
+    #: checks — which is the whole point of the tier.
+    verdicts_fresh: int = 0
+    verdicts_reused: int = 0
     elapsed_seconds: float = 0.0
 
 
@@ -111,7 +174,12 @@ class FleetReport:
         stats = self.statistics
         lines = [
             f"fleet      : {stats.pipelines} pipelines x {stats.properties_checked} properties "
-            f"({stats.workers} workers)",
+            f"({stats.workers} workers)"
+            + (
+                f", {stats.verdicts_reused} reused / {stats.verdicts_fresh} fresh"
+                if stats.verdicts_reused
+                else ""
+            ),
             f"step 1     : {stats.element_instances} element instances -> "
             f"{stats.distinct_summary_jobs} distinct jobs, "
             f"{stats.summaries_computed} computed, {stats.store_hits} from store",
@@ -285,6 +353,7 @@ def certify_fleet(
     max_counterexamples: int = 3,
     confirm_by_replay: bool = True,
     instruction_bounds: bool = False,
+    verdict_store: Optional[Union[VerdictStore, str]] = None,
 ) -> FleetReport:
     """Certify every pipeline in the catalog against every property.
 
@@ -293,6 +362,15 @@ def certify_fleet(
     same store twice and the second run performs no symbolic execution for
     an unchanged catalog.  Parallel mode requires the shared store as its
     transport; an ephemeral one is created when none is given.
+
+    A ``verdict_store`` (path or :class:`VerdictStore`) turns the run into
+    **delta mode**: pipelines whose fingerprint x property-set record
+    exists are served whole from the store (labelled
+    :data:`DELTA_REUSED`; zero symbolic executions, zero solver checks)
+    and only the remainder — changed or never-seen pipelines — is
+    verified (labelled :data:`FRESH`) and written back.  Verdicts are
+    identical to a cold full pass: the record key covers everything a
+    verdict depends on.
     """
     started = time.perf_counter()
     options = options or SymbexOptions()
@@ -307,18 +385,47 @@ def certify_fleet(
 
     if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
         store = SummaryStore(store)
+    if isinstance(verdict_store, (str,)) or hasattr(verdict_store, "__fspath__"):
+        verdict_store = VerdictStore(verdict_store)
+
+    # Delta mode: serve unchanged pipelines straight from the verdict store.
+    merged: Dict[int, PipelineCertification] = {}
+    record_keys: List[Optional[str]] = [None] * len(pipelines)
+    if verdict_store is not None:
+        include_tables = options.static_table_mode == StaticTableMode.CONCRETE
+        for index, pipeline in enumerate(pipelines):
+            record_keys[index] = verdict_key(
+                pipeline_fingerprint(pipeline, include_static_tables=include_tables),
+                properties,
+                input_lengths,
+                options,
+                max_counterexamples,
+                confirm_by_replay,
+                instruction_bounds,
+            )
+            record = verdict_store.load_record(record_keys[index])
+            if record is not None:
+                record.provenance = DELTA_REUSED
+                record.impact_causes = []
+                record.relabel(pipeline.name)
+                merged[index] = record
+    fresh_indices = [index for index in range(len(pipelines)) if index not in merged]
+    fresh_pipelines = [pipelines[index] for index in fresh_indices]
+    report.statistics.verdicts_reused = len(merged)
+    report.statistics.verdicts_fresh = len(fresh_pipelines)
 
     ephemeral: Optional[tempfile.TemporaryDirectory] = None
     if workers > 1 and store is None:
         ephemeral = tempfile.TemporaryDirectory(prefix="repro-fleet-store-")
         store = SummaryStore(ephemeral.name)
 
+    fresh_certifications: List[PipelineCertification] = []
     try:
-        if workers > 1:
+        if workers > 1 and fresh_pipelines:
             assert store is not None
             # Step 1: catalog-wide deduplicated summarization into the store.
             summaries, computed, loaded = _discover_jobs(
-                pipelines, input_lengths, options, workers, store
+                fresh_pipelines, input_lengths, options, workers, store
             )
             report.statistics.distinct_summary_jobs = len(summaries)
             report.statistics.summaries_computed = computed
@@ -335,24 +442,24 @@ def certify_fleet(
                     confirm_by_replay,
                     instruction_bounds,
                 )
-                for pipeline in pipelines
+                for pipeline in fresh_pipelines
             ]
             for certification, misses, l2_hits in run_tasks(
                 _certify_worker, payloads, workers=workers
             ):
-                report.certifications.append(certification)
+                fresh_certifications.append(certification)
                 # Worker-side misses are real symbolic executions (lengths
                 # Step 1 could not discover, e.g. past an exploded element);
                 # worker-side store loads are rehydration, tracked apart
                 # from the avoided-work counter.
                 report.statistics.summaries_computed += misses
                 report.statistics.step2_store_loads += l2_hits
-        else:
+        elif fresh_pipelines:
             # Serial: one shared cache dedupes across the catalog in-process
             # (and through the store, when one is provided).
             cache = SummaryCache(options, store=store)
-            for pipeline in pipelines:
-                report.certifications.append(
+            for pipeline in fresh_pipelines:
+                fresh_certifications.append(
                     _certify_one(
                         pipeline,
                         properties,
@@ -370,7 +477,19 @@ def certify_fleet(
         if ephemeral is not None:
             ephemeral.cleanup()
 
+    for index, certification in zip(fresh_indices, fresh_certifications):
+        certification.provenance = FRESH
+        merged[index] = certification
+        if verdict_store is not None and record_keys[index] is not None:
+            # Unknown verdicts are never recorded (see VerdictStore.save_record).
+            verdict_store.save_record(record_keys[index], certification)
+    report.certifications = [merged[index] for index in range(len(pipelines))]
+
     for certification in report.certifications:
+        if certification.reused:
+            # Reused records' statistics describe the run that computed
+            # them; this run did no work for these pipelines.
+            continue
         for result in certification.results:
             report.statistics.solver_checks += result.statistics.solver_checks
             report.statistics.composed_paths_checked += result.statistics.composed_paths_checked

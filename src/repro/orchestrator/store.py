@@ -1,4 +1,4 @@
-"""A content-addressed on-disk store of Step-1 element summaries.
+"""Content-addressed on-disk stores for Step-1 summaries (and friends).
 
 The paper's cost model prices each element's symbolic execution **once**;
 the in-process :class:`repro.verify.cache.SummaryCache` already reuses
@@ -15,12 +15,19 @@ static-table mode, and the serialization format version.  Writes are
 atomic (temp file + rename), so many worker processes can share one
 store directory without locks — the worst case under a racing write is
 one redundant computation, never a torn read.
+
+:class:`JsonFileStore` is the shared layout and maintenance machinery
+(two-level digest fan-out, atomic writes, corrupt-entry quarantine,
+garbage collection); :class:`SummaryStore` specializes it for element
+summaries, and :class:`repro.orchestrator.verdicts.VerdictStore` for
+per-pipeline verdict records.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -33,11 +40,16 @@ from .errors import StoreError
 from .serialize import FORMAT_VERSION, dumps_summary, loads_summary
 
 __all__ = [
+    "GcResult",
+    "JsonFileStore",
     "StoreStatistics",
     "SummaryStore",
     "program_fingerprint",  # re-exported from repro.dataplane.fingerprint
     "summary_key",
 ]
+
+#: Suffix given to quarantined (corrupt) entries; never matches the entry glob.
+_QUARANTINE_SUFFIX = ".corrupt"
 
 
 def summary_key(element: Element, input_length: int, options: SymbexOptions) -> str:
@@ -76,26 +88,169 @@ class StoreStatistics:
     misses: int = 0
     puts: int = 0
     corrupt_entries: int = 0
+    quarantined: int = 0
     bytes_written: int = 0
 
 
-class SummaryStore:
-    """Content-addressed persistence for element summaries.
+@dataclass
+class GcResult:
+    """What one :meth:`JsonFileStore.gc` sweep did."""
+
+    removed_entries: int = 0
+    removed_debris: int = 0
+    kept_entries: int = 0
+    bytes_freed: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"removed {self.removed_entries} entries and {self.removed_debris} debris files "
+            f"({self.bytes_freed} bytes), kept {self.kept_entries} entries"
+        )
+
+
+class JsonFileStore:
+    """Shared machinery for content-addressed JSON stores.
 
     Entries live at ``<root>/<digest[:2]>/<digest>.json``; the two-level
-    fan-out keeps directories small for fleet-sized stores.
+    fan-out keeps directories small for fleet-sized stores.  Subclasses
+    supply the digest computation and the payload encode/decode.
     """
+
+    #: Human label used in error messages ("summary store", "verdict store").
+    kind = "store"
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root).expanduser()
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
-            raise StoreError(f"cannot create summary store at {self.root}: {exc}") from exc
+            raise StoreError(f"cannot create {self.kind} at {self.root}: {exc}") from exc
         self.statistics = StoreStatistics()
 
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
+
+    # -- raw entry I/O ---------------------------------------------------------------
+
+    def read_entry(self, digest: str) -> Optional[str]:
+        """The entry's raw text, or ``None`` (counted as a miss) when absent.
+
+        A successful read refreshes the entry's mtime, so :meth:`gc`'s
+        age horizon means "not *touched* for N days" — a store that is
+        read every night never loses its warm entries to eviction.
+        """
+        path = self._path(digest)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            self.statistics.misses += 1
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read {self.kind} entry {path}: {exc}") from exc
+        try:
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - racing removal: entry already gone
+            pass
+        return text
+
+    def write_entry(self, digest: str, text: str) -> None:
+        """Atomically persist an entry (temp file + rename; safe across processes)."""
+        path = self._path(digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.parent / f".{digest}.{os.getpid()}.tmp"
+            temp.write_text(text)
+            os.replace(temp, path)
+        except OSError as exc:
+            raise StoreError(f"cannot write {self.kind} entry {path}: {exc}") from exc
+        self.statistics.puts += 1
+        self.statistics.bytes_written += len(text)
+
+    def quarantine_entry(self, digest: str) -> None:
+        """Move a corrupt entry aside so warm runs stop re-parsing garbage.
+
+        The entry is renamed to ``<digest>.json.corrupt`` (preserved for
+        post-mortem; swept by :meth:`gc`); if even the rename fails it is
+        deleted outright.  Either way the digest reads as a plain miss —
+        and parses nothing — from now on.
+        """
+        path = self._path(digest)
+        try:
+            os.replace(path, path.with_name(path.name + _QUARANTINE_SUFFIX))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink: entry already gone
+                pass
+        self.statistics.corrupt_entries += 1
+        self.statistics.quarantined += 1
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def size_bytes(self) -> int:
+        """Total bytes held by live entries (quarantine/debris excluded)."""
+        return sum(path.stat().st_size for path in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def gc(self, older_than_seconds: Optional[float] = None) -> GcResult:
+        """Sweep the store directory.
+
+        Always removes debris — quarantined ``.corrupt`` entries and
+        orphaned ``.tmp`` files from crashed writers (only those older
+        than a minute, so in-flight writes are never torn).  With
+        ``older_than_seconds``, additionally evicts live entries whose
+        modification time is older than the horizon — the store is a
+        cache, so eviction costs recomputation, never correctness.
+        """
+        result = GcResult()
+        now = time.time()
+        for path in self.root.glob(f"??/*{_QUARANTINE_SUFFIX}"):
+            result.bytes_freed += _size_of(path)
+            path.unlink(missing_ok=True)
+            result.removed_debris += 1
+        for path in self.root.glob("??/.*.tmp"):
+            if now - _mtime_of(path, now) > 60:
+                result.bytes_freed += _size_of(path)
+                path.unlink(missing_ok=True)
+                result.removed_debris += 1
+        for path in self.root.glob("??/*.json"):
+            if older_than_seconds is not None and now - _mtime_of(path, now) > older_than_seconds:
+                result.bytes_freed += _size_of(path)
+                path.unlink(missing_ok=True)
+                result.removed_entries += 1
+            else:
+                result.kept_entries += 1
+        return result
+
+
+def _size_of(path: Path) -> int:
+    try:
+        return path.stat().st_size
+    except OSError:  # pragma: no cover - racing removal
+        return 0
+
+
+def _mtime_of(path: Path, default: float) -> float:
+    try:
+        return path.stat().st_mtime
+    except OSError:  # pragma: no cover - racing removal
+        return default
+
+
+class SummaryStore(JsonFileStore):
+    """Content-addressed persistence for element summaries."""
+
+    kind = "summary store"
 
     # -- keyed by element ----------------------------------------------------------
 
@@ -120,47 +275,20 @@ class SummaryStore:
     # -- keyed by digest (workers compute keys once and ship them around) -----------
 
     def load_digest(self, digest: str) -> Optional[ElementSummary]:
-        path = self._path(digest)
-        try:
-            text = path.read_text()
-        except FileNotFoundError:
-            self.statistics.misses += 1
+        text = self.read_entry(digest)
+        if text is None:
             return None
-        except OSError as exc:
-            raise StoreError(f"cannot read summary store entry {path}: {exc}") from exc
         try:
             summary = loads_summary(text)
         except Exception:
-            # A half-written or stale-format entry is a miss: recompute and
-            # overwrite rather than poisoning the run.
-            self.statistics.corrupt_entries += 1
+            # A half-written or stale-format entry reads as a miss — and is
+            # quarantined, so the *next* warm run doesn't re-parse the same
+            # garbage; the recompute overwrites the digest with a good entry.
+            self.quarantine_entry(digest)
             self.statistics.misses += 1
             return None
         self.statistics.hits += 1
         return summary
 
     def save_digest(self, digest: str, summary: ElementSummary) -> None:
-        path = self._path(digest)
-        text = dumps_summary(summary)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            temp = path.parent / f".{digest}.{os.getpid()}.tmp"
-            temp.write_text(text)
-            os.replace(temp, path)
-        except OSError as exc:
-            raise StoreError(f"cannot write summary store entry {path}: {exc}") from exc
-        self.statistics.puts += 1
-        self.statistics.bytes_written += len(text)
-
-    # -- maintenance ---------------------------------------------------------------
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.json"))
-
-    def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
-        removed = 0
-        for path in self.root.glob("??/*.json"):
-            path.unlink(missing_ok=True)
-            removed += 1
-        return removed
+        self.write_entry(digest, dumps_summary(summary))

@@ -1,0 +1,194 @@
+"""Per-pipeline verdict records: the second store tier, above summaries.
+
+The :class:`~repro.orchestrator.store.SummaryStore` amortizes **Step 1**
+across runs — a warm store re-executes nothing symbolically, but Step 2
+(suspect composition, solver checks) still runs for every pipeline on
+every pass.  The :class:`VerdictStore` amortizes the *whole verification*:
+a pipeline's certification against a property set is persisted under a
+content address covering everything the verdict depends on, so
+re-certifying an unchanged pipeline is one JSON read — zero symbolic
+execution **and** zero solver checks.
+
+Keys are ``pipeline fingerprint x property set``: the pipeline fingerprint
+(:func:`repro.dataplane.fingerprint.pipeline_fingerprint`) covers element
+programs, static-table contents and wiring with instance names normalized
+out, and :func:`property_set_fingerprint` renders the property objects
+structurally (dataclass fields, not ``repr`` — function defaults would
+otherwise embed memory addresses).  Any change that could alter a verdict
+changes the key; a no-op rename does not.
+
+Records whose verdicts include ``unknown`` are never stored: an unknown is
+a budget artifact, not a fact about the pipeline, and a bigger budget on
+the next run should get the chance to resolve it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import types
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..symbex.engine import SymbexOptions
+from ..verify.properties import Property
+from ..verify.report import Verdict
+from .store import JsonFileStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet imports this module)
+    from .fleet import PipelineCertification
+
+__all__ = [
+    "RECORD_VERSION",
+    "VerdictStore",
+    "property_fingerprint",
+    "property_set_fingerprint",
+    "verdict_key",
+]
+
+#: Bump when the record layout changes; a version mismatch reads as a miss.
+RECORD_VERSION = 1
+
+
+def _render_value(value: object) -> str:
+    """A stable structural render of a property (or any of its field values).
+
+    ``repr`` alone is not enough: function-typed fields (reachability
+    predicates) repr with their memory address, which would make every
+    process compute a different key.  Dataclasses render field-by-field,
+    callables by qualified name, containers element-wise; anything else
+    falls back to ``repr`` — for objects without a stable repr that yields
+    a key no other run can reproduce, trading reuse for soundness.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={_render_value(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__qualname__}({fields})"
+    if isinstance(value, types.MethodType):
+        # The bound object is part of the identity: two methods of
+        # differently configured instances must not collide.
+        return (
+            f"callable:{getattr(value, '__module__', '?')}.{value.__qualname__}"
+            f"[self={_render_value(value.__self__)}]"
+        )
+    if isinstance(value, (types.FunctionType, types.BuiltinFunctionType)):
+        # Captured state is part of the identity: a factory-made closure
+        # differing only in a captured variable must not collide with its
+        # siblings.  Cells holding objects without a stable render yield a
+        # key no other run reproduces — lost reuse, never a wrong verdict.
+        rendered = f"callable:{getattr(value, '__module__', '?')}.{value.__qualname__}"
+        closure = getattr(value, "__closure__", None)
+        if closure:
+            cells = ",".join(_render_value(cell.cell_contents) for cell in closure)
+            rendered += f"[closure={cells}]"
+        defaults = getattr(value, "__defaults__", None)
+        if defaults:
+            rendered += f"[defaults={_render_value(list(defaults))}]"
+        return rendered
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_render_value(item) for item in value)) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_render_value(item) for item in value) + "]"
+    if isinstance(value, dict):
+        rendered = ",".join(
+            f"{_render_value(key)}:{_render_value(val)}" for key, val in sorted(value.items())
+        )
+        return "{" + rendered + "}"
+    return repr(value)
+
+
+def property_fingerprint(target_property: Property) -> str:
+    """A stable digest of one property's configuration."""
+    material = f"{type(target_property).__qualname__}|{_render_value(target_property)}"
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def property_set_fingerprint(properties: Sequence[Property]) -> str:
+    """Digest of an ordered property set.
+
+    Order-sensitive on purpose: a record's results list in property order,
+    so reordering the set is a (cheap, correct) re-verification rather
+    than a remapping puzzle.
+    """
+    material = "\x1f".join(property_fingerprint(p) for p in properties)
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def verdict_key(
+    pipeline_fingerprint: str,
+    properties: Sequence[Property],
+    input_lengths: Sequence[int],
+    options: SymbexOptions,
+    max_counterexamples: int,
+    confirm_by_replay: bool,
+    instruction_bounds: bool,
+) -> str:
+    """The store digest for one (pipeline configuration, verification request) pair.
+
+    Covers the request knobs that shape record *content*
+    (counterexample budget, replay confirmation, the instruction-bound
+    extra) and the summary-shaping engine options, mirroring
+    :func:`repro.orchestrator.store.summary_key`.  Path/time budgets are
+    excluded: a starved budget yields ``unknown``, and unknown records are
+    never stored, so budgets cannot poison the tier — while a stored
+    proof obtained under a generous budget stays a proof under any budget.
+    """
+    material = "\x1f".join(
+        (
+            f"r{RECORD_VERSION}",
+            pipeline_fingerprint,
+            property_set_fingerprint(properties),
+            ",".join(str(length) for length in input_lengths),
+            options.static_table_mode,
+            f"prune={options.prune_infeasible_branches}",
+            f"conflicts={options.solver_max_conflicts}",
+            f"cex={max_counterexamples}",
+            f"replay={confirm_by_replay}",
+            f"bounds={instruction_bounds}",
+        )
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class VerdictStore(JsonFileStore):
+    """Content-addressed persistence for per-pipeline certification records."""
+
+    kind = "verdict store"
+
+    def load_record(self, digest: str) -> Optional["PipelineCertification"]:
+        """Return the stored certification, or ``None`` on a miss.
+
+        Corrupt or stale-format entries are quarantined and read as
+        misses, exactly like summary-store entries.
+        """
+        from .fleet import PipelineCertification
+
+        text = self.read_entry(digest)
+        if text is None:
+            return None
+        try:
+            payload = json.loads(text)
+            if payload.get("version") != RECORD_VERSION:
+                raise ValueError(f"unsupported record version {payload.get('version')!r}")
+            certification = PipelineCertification.from_dict(payload["certification"])
+        except Exception:
+            self.quarantine_entry(digest)
+            self.statistics.misses += 1
+            return None
+        self.statistics.hits += 1
+        return certification
+
+    def save_record(self, digest: str, certification: "PipelineCertification") -> bool:
+        """Persist a certification record; refuses (returns False) on ``unknown``.
+
+        An unknown verdict is a budget artifact: storing it would pin the
+        failure and rob a future (possibly better-budgeted) run of the
+        chance to resolve it.
+        """
+        if any(result.verdict == Verdict.UNKNOWN for result in certification.results):
+            return False
+        payload = {"version": RECORD_VERSION, "certification": certification.to_dict()}
+        self.write_entry(digest, json.dumps(payload, separators=(",", ":")))
+        return True

@@ -7,7 +7,7 @@ verifier need, implemented on top of :mod:`repro.smt.terms`.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Union
 
 from . import terms
 from .errors import SortMismatchError

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Union
+from typing import Dict, Iterator, Mapping
 
 from .evaluate import Value, evaluate
 from .terms import Term

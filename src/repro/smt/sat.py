@@ -338,7 +338,7 @@ class SATSolver:
             backjump_level = 0
         else:
             # Backjump to the second-highest level in the learned clause.
-            levels = sorted((self._level[abs(l)] for l in learned[1:]), reverse=True)
+            levels = sorted((self._level[abs(lit)] for lit in learned[1:]), reverse=True)
             backjump_level = levels[0]
             # Move a literal of that level into the first watch position.
             for position in range(1, len(learned)):

@@ -22,7 +22,6 @@ from .terms import (
     mk_concat,
     mk_eq,
     mk_extract,
-    mk_ite,
     mk_not,
     mk_or,
     mk_term,

@@ -15,7 +15,7 @@ same residual constraint.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .bitblast import BitBlaster

@@ -14,7 +14,7 @@ crash segment guarded by the condition that triggers them.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import smt
@@ -49,7 +49,7 @@ from ..ir.stmts import (
     While,
 )
 from .errors import PathExplosionError, UnsupportedProgramError
-from .segment import ElementSummary, SegmentOutcome, SegmentSummary, summarize_path
+from .segment import ElementSummary, SegmentOutcome, summarize_path
 from .state import (
     HAVOC_PREFIX,
     INPUT_META_PREFIX,

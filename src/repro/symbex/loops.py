@@ -32,13 +32,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .. import smt
 from ..ir.exprs import BinaryOperator, BinOp, Const, Expr, Reg
 from ..ir.program import ElementProgram
 from ..ir.stmts import Assign, Emit, If, SetMeta, Stmt, TableRead, While, collect_statements
 from .engine import SymbexOptions, SymbolicEngine
-from .segment import ElementSummary, SegmentOutcome
-from .state import SymbolicPacket
+from .segment import ElementSummary
 
 
 @dataclass

@@ -12,7 +12,7 @@ is what keeps Step 2 cheap when Step 1 produced few suspects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .. import smt
 from ..smt import Term

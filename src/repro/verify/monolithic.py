@@ -13,8 +13,8 @@ within 12 hours" data point as a ``budget exceeded`` verdict.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from .. import smt
 from ..dataplane.element import Element

@@ -13,10 +13,8 @@ replayed on the concrete dataplane to confirm it.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .. import smt
 from ..dataplane.driver import PipelineDriver
 from ..dataplane.element import Element
 from ..dataplane.pipeline import Pipeline
@@ -27,7 +25,7 @@ from ..symbex.segment import ElementSummary, SegmentSummary
 from .cache import SummaryCache
 from .composition import ComposedViolation, CompositionEngine
 from .errors import VerificationError
-from .properties import BoundedInstructions, Property, Reachability
+from .properties import Property, Reachability
 from .report import (
     Counterexample,
     InstructionBoundResult,

@@ -11,7 +11,7 @@ violate the property and therefore need Step-2 composition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, Optional, Sequence, Set
 
 from .. import smt
 from ..smt import Term

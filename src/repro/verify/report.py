@@ -1,9 +1,16 @@
-"""Verification results: proofs, counterexamples and statistics."""
+"""Verification results: proofs, counterexamples and statistics.
+
+Every result type round-trips through plain-JSON dicts (``to_dict`` /
+``from_dict``): counterexamples carry concrete bytes and scalars, never
+solver terms, so — unlike element summaries — verdict records need no DAG
+serialization.  The orchestrator's :class:`VerdictStore` persists these
+payloads to make re-certification proportional to a configuration diff.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class Verdict:
@@ -32,6 +39,31 @@ class Counterexample:
             f"Counterexample(len={len(self.packet)}, element={self.violating_element!r}, "
             f"kind={self.violation_kind!r}, detail={self.detail!r}, "
             f"confirmed={self.confirmed_by_replay})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "packet": self.packet.hex(),
+            "element_path": list(self.element_path),
+            "violating_element": self.violating_element,
+            "violation_kind": self.violation_kind,
+            "detail": self.detail,
+            "required_table_values": dict(self.required_table_values),
+            "metadata": dict(self.metadata),
+            "confirmed_by_replay": self.confirmed_by_replay,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Counterexample":
+        return cls(
+            packet=bytes.fromhex(payload["packet"]),
+            element_path=list(payload.get("element_path", [])),
+            violating_element=payload.get("violating_element", ""),
+            violation_kind=payload.get("violation_kind", ""),
+            detail=payload.get("detail", ""),
+            required_table_values=dict(payload.get("required_table_values", {})),
+            metadata=dict(payload.get("metadata", {})),
+            confirmed_by_replay=payload.get("confirmed_by_replay"),
         )
 
 
@@ -77,6 +109,47 @@ class VerificationStatistics:
         else:
             self.scratch_solver_checks += checks
         self.feasibility_memo_hits += memo_hits
+
+    def to_dict(self) -> dict:
+        return {
+            "elements_analyzed": self.elements_analyzed,
+            "segments_total": self.segments_total,
+            "suspect_segments": self.suspect_segments,
+            "composed_paths_checked": self.composed_paths_checked,
+            "composed_paths_feasible": self.composed_paths_feasible,
+            "solver_checks": self.solver_checks,
+            "incremental_solver_checks": self.incremental_solver_checks,
+            "scratch_solver_checks": self.scratch_solver_checks,
+            "feasibility_memo_hits": self.feasibility_memo_hits,
+            "summary_cache_hits": self.summary_cache_hits,
+            "elapsed_seconds": self.elapsed_seconds,
+            "per_element_segments": dict(self.per_element_segments),
+            "per_element_seconds": dict(self.per_element_seconds),
+            "budget_exceeded": self.budget_exceeded,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VerificationStatistics":
+        statistics = cls()
+        for name in (
+            "elements_analyzed",
+            "segments_total",
+            "suspect_segments",
+            "composed_paths_checked",
+            "composed_paths_feasible",
+            "solver_checks",
+            "incremental_solver_checks",
+            "scratch_solver_checks",
+            "feasibility_memo_hits",
+            "summary_cache_hits",
+            "elapsed_seconds",
+            "budget_exceeded",
+        ):
+            if name in payload:
+                setattr(statistics, name, payload[name])
+        statistics.per_element_segments = dict(payload.get("per_element_segments", {}))
+        statistics.per_element_seconds = dict(payload.get("per_element_seconds", {}))
+        return statistics
 
 
 @dataclass
@@ -127,6 +200,31 @@ class VerificationResult:
             f"{self.verdict}, {len(self.counterexamples)} counterexamples)"
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "property_name": self.property_name,
+            "pipeline_name": self.pipeline_name,
+            "verdict": self.verdict,
+            "input_lengths": list(self.input_lengths),
+            "counterexamples": [ce.to_dict() for ce in self.counterexamples],
+            "statistics": self.statistics.to_dict(),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VerificationResult":
+        return cls(
+            property_name=payload["property_name"],
+            pipeline_name=payload["pipeline_name"],
+            verdict=payload["verdict"],
+            input_lengths=tuple(payload.get("input_lengths", ())),
+            counterexamples=[
+                Counterexample.from_dict(ce) for ce in payload.get("counterexamples", [])
+            ],
+            statistics=VerificationStatistics.from_dict(payload.get("statistics", {})),
+            notes=list(payload.get("notes", [])),
+        )
+
 
 @dataclass
 class InstructionBoundResult:
@@ -149,3 +247,31 @@ class InstructionBoundResult:
             f"witness confirmed   : {self.witness_confirmed}",
         ]
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "pipeline_name": self.pipeline_name,
+            "input_lengths": list(self.input_lengths),
+            "bound": self.bound,
+            "witness_packet": self.witness_packet.hex() if self.witness_packet else None,
+            "witness_instructions": self.witness_instructions,
+            "witness_confirmed": self.witness_confirmed,
+            "per_path_bounds": [list(pair) for pair in self.per_path_bounds],
+            "statistics": self.statistics.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InstructionBoundResult":
+        witness = payload.get("witness_packet")
+        return cls(
+            pipeline_name=payload["pipeline_name"],
+            input_lengths=tuple(payload.get("input_lengths", ())),
+            bound=payload["bound"],
+            witness_packet=bytes.fromhex(witness) if witness else None,
+            witness_instructions=payload.get("witness_instructions"),
+            witness_confirmed=payload.get("witness_confirmed"),
+            per_path_bounds=[
+                (name, bound) for name, bound in payload.get("per_path_bounds", [])
+            ],
+            statistics=VerificationStatistics.from_dict(payload.get("statistics", {})),
+        )

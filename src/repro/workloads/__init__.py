@@ -1,5 +1,11 @@
-"""``repro.workloads`` — packet, table and pipeline generators for tests and benchmarks."""
+"""``repro.workloads`` — packet, table, pipeline and churn generators for tests and benchmarks."""
 
+from .churn import (
+    ALTERNATE_ROUTES,
+    CHURN_MUTATIONS,
+    churned_fleet_catalog,
+    default_mutation_target,
+)
 from .packets import (
     PacketWorkload,
     adversarial_packets,
@@ -18,8 +24,12 @@ from .pipelines import (
 from .tables import random_classifier_rules, random_routing_table
 
 __all__ = [
+    "ALTERNATE_ROUTES",
+    "CHURN_MUTATIONS",
     "PacketWorkload",
     "adversarial_packets",
+    "churned_fleet_catalog",
+    "default_mutation_target",
     "fleet_catalog",
     "ip_router_elements",
     "ip_router_pipeline",

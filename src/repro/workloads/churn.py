@@ -1,0 +1,164 @@
+"""Config-churn scenarios: realistic mutations of a fleet catalog.
+
+Continuous certification only earns its keep if re-verification is
+proportional to the *diff* between configurations, so benchmarks and
+tests need realistic diffs to measure against.  Each mutation here
+rebuilds :func:`~repro.workloads.pipelines.fleet_catalog` with exactly
+one operator-shaped change applied, chosen to exercise one axis of the
+change-impact classifier:
+
+============= ======================================================
+``routes``    one router's forwarding-table *contents* change (same
+              program, same wiring) — the canonical cheap delta
+``rename``    one pipeline's elements are renamed, nothing else —
+              a no-op rewrite that must reuse everything
+``rewire``    one router's elements are reconnected in a different
+              order — same element set, different graph
+``options``   one router's IPOptions element changes a program
+              parameter (``max_options``) — an IR program change
+``add``       a new pipeline joins the catalog
+``remove``    one pipeline leaves the catalog
+============= ======================================================
+
+Everything is deterministic: the same (count, mutation) pair always
+produces the same catalog, so delta runs are reproducible across
+processes and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dataplane.elements import CheckIPHeader, DecIPTTL, IPLookup, IPOptions
+from ..dataplane.pipeline import Pipeline
+from .pipelines import (
+    DEFAULT_ROUTES,
+    fleet_catalog,
+    ip_router_pipeline,
+    nat_gateway_pipeline,
+)
+
+__all__ = [
+    "ALTERNATE_ROUTES",
+    "CHURN_MUTATIONS",
+    "churned_fleet_catalog",
+    "default_mutation_target",
+]
+
+#: A different-but-equivalent route set: same output ports (so the element
+#: program is identical), different table contents.
+ALTERNATE_ROUTES: Tuple[Tuple[str, int], ...] = (
+    ("10.0.0.0/8", 0),
+    ("172.16.0.0/12", 0),
+    ("0.0.0.0/0", 0),
+)
+
+#: fleet_catalog's template cycle (see pipelines.fleet_catalog): index % 6
+#: selects router-2, router-3, router-4, nat-gateway, synthetic, monitored.
+_ROUTER_LENGTHS = {0: 2, 1: 3, 2: 4}
+
+
+def _router_length(index: int) -> Optional[int]:
+    return _ROUTER_LENGTHS.get(index % 6)
+
+
+def default_mutation_target(mutation: str, count: int) -> int:
+    """The smallest catalog index the mutation can be applied to."""
+    minimum_length = {"routes": 2, "rename": 2, "rewire": 3, "options": 4}
+    if mutation in minimum_length:
+        for index in range(count):
+            length = _router_length(index)
+            if length is not None and length >= minimum_length[mutation]:
+                return index
+        raise ValueError(
+            f"catalog of {count} pipelines has no router template long enough "
+            f"for mutation {mutation!r}"
+        )
+    return 0
+
+
+def _renamed_router(length: int, routes: Sequence[Tuple[str, int]], name: str) -> Pipeline:
+    """The ip-router chain with every element renamed — configurations unchanged."""
+    chain = [
+        CheckIPHeader(name="check_ip_renamed", verify_checksum=False),
+        IPLookup(list(routes), name="lookup_renamed"),
+        DecIPTTL(name="dec_ttl_renamed"),
+        IPOptions(name="ip_options_renamed", max_options=8),
+    ]
+    return Pipeline.chain(chain[:length], name=name)
+
+
+def _rewired_router(length: int, routes: Sequence[Tuple[str, int]], name: str) -> Pipeline:
+    """The same elements as the ip-router chain, wired in a different order.
+
+    DecIPTTL moves ahead of IPLookup — a real (if inadvisable) operator
+    change: the element set is identical, only the graph differs.
+    """
+    check = CheckIPHeader(name="check_ip", verify_checksum=False)
+    lookup = IPLookup(list(routes), name="lookup")
+    ttl = DecIPTTL(name="dec_ttl")
+    chain: List = [check, ttl, lookup]
+    if length >= 4:
+        chain.append(IPOptions(name="ip_options", max_options=8))
+    return Pipeline.chain(chain[:length], name=name)
+
+
+def churned_fleet_catalog(
+    count: int = 8,
+    mutation: str = "routes",
+    target: Optional[int] = None,
+    routes: Sequence[Tuple[str, int]] = DEFAULT_ROUTES,
+    name_prefix: str = "fleet",
+) -> List[Pipeline]:
+    """``fleet_catalog(count)`` with exactly one mutation applied.
+
+    ``target`` is the catalog index to mutate (defaults to the first
+    template the mutation applies to).  The untouched pipelines are
+    rebuilt identically — their fingerprints match the unmutated
+    catalog's, which is precisely what the change-impact engine keys on.
+    """
+    if mutation not in CHURN_MUTATIONS:
+        raise ValueError(
+            f"unknown mutation {mutation!r}; choose from {sorted(CHURN_MUTATIONS)}"
+        )
+    catalog = fleet_catalog(count, routes=routes, name_prefix=name_prefix)
+    if mutation == "add":
+        catalog.append(
+            nat_gateway_pipeline(name=f"{name_prefix}-{count}-nat-gateway-added")
+        )
+        return catalog
+
+    index = default_mutation_target(mutation, count) if target is None else target
+    if not 0 <= index < count:
+        raise ValueError(f"mutation target {index} outside catalog of {count} pipelines")
+    if mutation == "remove":
+        del catalog[index]
+        return catalog
+
+    length = _router_length(index)
+    if length is None:
+        raise ValueError(
+            f"mutation {mutation!r} targets a router template; catalog index {index} "
+            f"is not one (index % 6 must be 0, 1 or 2)"
+        )
+    name = catalog[index].name
+    if mutation == "routes":
+        catalog[index] = ip_router_pipeline(length=length, routes=ALTERNATE_ROUTES, name=name)
+    elif mutation == "rename":
+        catalog[index] = _renamed_router(length, routes, name)
+    elif mutation == "rewire":
+        catalog[index] = _rewired_router(length, routes, name)
+    elif mutation == "options":
+        catalog[index] = ip_router_pipeline(length=length, routes=routes, max_options=4, name=name)
+    return catalog
+
+
+#: Mutation name -> one-line description (the CLI's ``--help`` source of truth).
+CHURN_MUTATIONS: Dict[str, str] = {
+    "routes": "change one router's forwarding-table contents (table-only delta)",
+    "rename": "rename one pipeline's elements (no-op rewrite; everything reuses)",
+    "rewire": "reconnect one router's elements in a different order (wiring delta)",
+    "options": "change one IPOptions element's max_options (IR program delta)",
+    "add": "append a new pipeline to the catalog",
+    "remove": "drop one pipeline from the catalog",
+}

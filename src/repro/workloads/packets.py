@@ -9,11 +9,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 from ..net.headers import (
-    IPPROTO_TCP,
-    IPPROTO_UDP,
     build_ethernet_frame,
     build_ipv4_packet,
     build_udp_datagram,

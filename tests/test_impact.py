@@ -1,0 +1,447 @@
+"""Tests for change-impact re-certification and the ``python -m repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.dataplane.fingerprint import (
+    element_fingerprint_parts,
+    pipeline_fingerprint,
+    wiring_fingerprint,
+)
+from repro.orchestrator import (
+    DELTA_REUSED,
+    FRESH,
+    SummaryStore,
+    VerdictStore,
+    catalog_manifest,
+    certify_fleet,
+    diff_catalogs,
+    property_set_fingerprint,
+    recertify,
+    verdict_key,
+)
+from repro.cli import main as cli_main
+from repro.symbex import SymbexOptions
+from repro.verify import BoundedInstructions, CrashFreedom, destination_reachability
+from repro.workloads import (
+    ALTERNATE_ROUTES,
+    churned_fleet_catalog,
+    fleet_catalog,
+    ip_router_pipeline,
+)
+
+CATALOG_SIZE = 4
+LENGTHS = (24,)
+
+
+# -- fingerprints ---------------------------------------------------------------------
+
+
+class TestPipelineFingerprints:
+    def test_rename_preserves_fingerprint(self):
+        base = fleet_catalog(CATALOG_SIZE)
+        renamed = churned_fleet_catalog(CATALOG_SIZE, "rename")
+        for old, new in zip(base, renamed):
+            assert pipeline_fingerprint(old, True) == pipeline_fingerprint(new, True)
+
+    def test_table_change_moves_fingerprint_only_in_concrete_mode(self):
+        plain = ip_router_pipeline(length=2, name="p")
+        rerouted = ip_router_pipeline(length=2, routes=ALTERNATE_ROUTES, name="p")
+        assert pipeline_fingerprint(plain, True) != pipeline_fingerprint(rerouted, True)
+        # Same wiring either way; table contents live in the elements.
+        assert wiring_fingerprint(plain) == wiring_fingerprint(rerouted)
+
+    def test_rewire_moves_fingerprint_with_same_elements(self):
+        base = fleet_catalog(CATALOG_SIZE)[1]
+        rewired = churned_fleet_catalog(CATALOG_SIZE, "rewire")[1]
+        assert pipeline_fingerprint(base, True) != pipeline_fingerprint(rewired, True)
+
+    def test_parts_combined_matches_configuration_fingerprint(self):
+        from repro.dataplane.fingerprint import configuration_fingerprint
+
+        for pipeline in fleet_catalog(2):
+            for element in pipeline.elements:
+                for include in (True, False):
+                    parts = element_fingerprint_parts(element, include)
+                    assert parts.combined == configuration_fingerprint(element, include)
+
+    def test_verdict_key_covers_property_set_and_request(self):
+        fingerprint = pipeline_fingerprint(ip_router_pipeline(length=1, name="p"), True)
+        options = SymbexOptions()
+        base = verdict_key(fingerprint, [CrashFreedom()], (24,), options, 3, True, False)
+        assert base != verdict_key(
+            fingerprint, [BoundedInstructions(bound=50)], (24,), options, 3, True, False
+        )
+        assert base != verdict_key(fingerprint, [CrashFreedom()], (32,), options, 3, True, False)
+        assert base != verdict_key(fingerprint, [CrashFreedom()], (24,), options, 1, True, False)
+        # Budgets don't partition the tier (unknowns are never stored).
+        assert base == verdict_key(
+            fingerprint, [CrashFreedom()], (24,), SymbexOptions(max_paths=7), 3, True, False
+        )
+
+    def test_property_set_fingerprint_is_stable_across_instances(self):
+        one = [CrashFreedom(), destination_reachability(0x0A000001, exempt_elements={"a"})]
+        two = [CrashFreedom(), destination_reachability(0x0A000001, exempt_elements={"a"})]
+        assert property_set_fingerprint(one) == property_set_fingerprint(two)
+        other = [CrashFreedom(), destination_reachability(0x0A000002, exempt_elements={"a"})]
+        assert property_set_fingerprint(one) != property_set_fingerprint(other)
+
+    def test_closure_predicates_with_different_captures_do_not_collide(self):
+        # A factory-made predicate captures state in closure cells; two
+        # predicates from the same factory must not share a verdict key.
+        from repro.orchestrator import property_fingerprint
+        from repro.verify import Reachability
+
+        def make(destination):
+            def predicate(packet_bytes):
+                return destination  # captured: part of the identity
+
+            return predicate
+
+        first = Reachability(input_predicate=make(1))
+        second = Reachability(input_predicate=make(2))
+        same_as_first = Reachability(input_predicate=make(1))
+        assert property_fingerprint(first) != property_fingerprint(second)
+        assert property_fingerprint(first) == property_fingerprint(same_as_first)
+
+
+# -- the structural differ ------------------------------------------------------------
+
+
+class TestDiff:
+    def test_table_only_change_impacts_only_users_of_that_table(self):
+        base = fleet_catalog(CATALOG_SIZE)
+        impact = diff_catalogs(base, churned_fleet_catalog(CATALOG_SIZE, "routes"))
+        assert [pi.name for pi in impact.impacted] == [base[0].name]
+        causes = " ".join(impact.impacted[0].causes)
+        assert "static table 'routes'" in causes
+        assert not impact.removed
+
+    def test_wiring_change_invalidates_exactly_its_pipeline(self):
+        base = fleet_catalog(CATALOG_SIZE)
+        impact = diff_catalogs(base, churned_fleet_catalog(CATALOG_SIZE, "rewire"))
+        assert [pi.name for pi in impact.impacted] == [base[1].name]
+        assert any("wiring" in cause for cause in impact.impacted[0].causes)
+
+    def test_noop_rename_impacts_nothing(self):
+        base = fleet_catalog(CATALOG_SIZE)
+        impact = diff_catalogs(base, churned_fleet_catalog(CATALOG_SIZE, "rename"))
+        assert impact.impacted == []
+        assert len(impact.unimpacted) == CATALOG_SIZE
+
+    def test_program_change_names_the_element(self):
+        base = fleet_catalog(CATALOG_SIZE)
+        impact = diff_catalogs(base, churned_fleet_catalog(CATALOG_SIZE, "options"))
+        assert [pi.name for pi in impact.impacted] == [base[2].name]
+        assert any("IR program changed" in cause for cause in impact.impacted[0].causes)
+
+    def test_add_and_remove_pipelines(self):
+        base = fleet_catalog(CATALOG_SIZE)
+        added = diff_catalogs(base, churned_fleet_catalog(CATALOG_SIZE, "add"))
+        assert [pi.name for pi in added.impacted] == [
+            f"fleet-{CATALOG_SIZE}-nat-gateway-added"
+        ]
+        removed = diff_catalogs(base, churned_fleet_catalog(CATALOG_SIZE, "remove"))
+        assert removed.impacted == []
+        assert removed.removed == [base[0].name]
+
+
+# -- delta re-certification -----------------------------------------------------------
+
+
+class TestDeltaRecertification:
+    @pytest.fixture(scope="class")
+    def stores(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("delta")
+        return SummaryStore(root / "summaries"), VerdictStore(root / "verdicts")
+
+    @pytest.fixture(scope="class")
+    def cold(self, stores):
+        summary_store, verdict_store = stores
+        return recertify(
+            fleet_catalog(CATALOG_SIZE),
+            [CrashFreedom()],
+            input_lengths=LENGTHS,
+            store=summary_store,
+            verdict_store=verdict_store,
+        )
+
+    def test_cold_pass_is_all_fresh(self, cold):
+        assert all(c.provenance == FRESH for c in cold.report.certifications)
+        assert cold.report.statistics.verdicts_fresh == CATALOG_SIZE
+        assert cold.report.statistics.verdicts_reused == 0
+
+    def test_table_change_reverifies_only_impacted_pipeline(self, stores, cold):
+        summary_store, verdict_store = stores
+        mutated = churned_fleet_catalog(CATALOG_SIZE, "routes")
+        delta = recertify(
+            mutated,
+            [CrashFreedom()],
+            baseline=cold.manifest,
+            input_lengths=LENGTHS,
+            store=summary_store,
+            verdict_store=verdict_store,
+        )
+        provenance = [c.provenance for c in delta.report.certifications]
+        assert provenance == [FRESH] + [DELTA_REUSED] * (CATALOG_SIZE - 1)
+        # Zero symbex and zero solver checks for the unimpacted pipelines:
+        # the only computed summary is the changed lookup element, and the
+        # only solver checks are the impacted pipeline's own.
+        assert delta.report.statistics.summaries_computed == 1
+        solo = certify_fleet(
+            [churned_fleet_catalog(CATALOG_SIZE, "routes")[0]],
+            [CrashFreedom()],
+            input_lengths=LENGTHS,
+            store=summary_store,
+        )
+        assert delta.report.statistics.solver_checks == solo.statistics.solver_checks
+        # Delta verdicts are identical to a cold full pass over the new catalog.
+        full = certify_fleet(
+            churned_fleet_catalog(CATALOG_SIZE, "routes"), [CrashFreedom()],
+            input_lengths=LENGTHS,
+        )
+        assert delta.report.verdicts() == full.verdicts()
+        # Impact provenance is attached to the fresh verdict.
+        assert any(
+            "static table 'routes'" in cause
+            for cause in delta.report.certifications[0].impact_causes
+        )
+
+    def test_noop_rename_reuses_everything(self, stores, cold):
+        summary_store, verdict_store = stores
+        delta = recertify(
+            churned_fleet_catalog(CATALOG_SIZE, "rename"),
+            [CrashFreedom()],
+            baseline=cold.manifest,
+            input_lengths=LENGTHS,
+            store=summary_store,
+            verdict_store=verdict_store,
+        )
+        assert all(c.provenance == DELTA_REUSED for c in delta.report.certifications)
+        assert delta.report.statistics.summaries_computed == 0
+        assert delta.report.statistics.solver_checks == 0
+        assert delta.report.verdicts() == cold.report.verdicts()
+        # Reused records adopt the current catalog's (renamed) element
+        # pipeline names, not the names they were stored under.
+        assert [c.pipeline_name for c in delta.report.certifications] == [
+            p.name for p in churned_fleet_catalog(CATALOG_SIZE, "rename")
+        ]
+
+    def test_property_set_change_misses_the_verdict_store(self, stores, cold):
+        summary_store, verdict_store = stores
+        delta = recertify(
+            fleet_catalog(CATALOG_SIZE),
+            [CrashFreedom(), BoundedInstructions(bound=100_000)],
+            baseline=cold.manifest,
+            input_lengths=LENGTHS,
+            store=summary_store,
+            verdict_store=verdict_store,
+        )
+        # Unimpacted configurations, but no record for this property set:
+        # everything re-verifies (with warm summaries) and says why.
+        assert all(c.provenance == FRESH for c in delta.report.certifications)
+        assert delta.report.statistics.summaries_computed == 0  # summaries still warm
+        assert all(
+            "no stored verdict" in " ".join(c.impact_causes)
+            for c in delta.report.certifications
+        )
+
+    def test_unknown_verdicts_are_never_stored(self, tmp_path):
+        from repro.workloads import synthetic_pipeline
+
+        verdict_store = VerdictStore(tmp_path / "verdicts")
+        starved = SymbexOptions(max_paths=4)
+        first = certify_fleet(
+            [synthetic_pipeline(4, 3, name="boom")], [CrashFreedom()],
+            input_lengths=(12,), options=starved, verdict_store=verdict_store,
+        )
+        assert first.verdicts()[0][2] == "unknown"
+        assert len(verdict_store) == 0
+        second = certify_fleet(
+            [synthetic_pipeline(4, 3, name="boom")], [CrashFreedom()],
+            input_lengths=(12,), options=starved, verdict_store=verdict_store,
+        )
+        assert second.statistics.verdicts_reused == 0  # retried, not pinned
+
+    def test_violated_verdicts_round_trip_with_counterexamples(self, tmp_path):
+        from repro.dataplane.elements import IPOptions
+        from repro.dataplane.pipeline import Pipeline
+
+        def crashy():
+            return [
+                Pipeline.chain([IPOptions(name="opts", max_options=8)], name="unprotected")
+            ]
+
+        verdict_store = VerdictStore(tmp_path / "verdicts")
+        first = certify_fleet(
+            crashy(), [CrashFreedom()], input_lengths=LENGTHS, verdict_store=verdict_store
+        )
+        second = certify_fleet(
+            crashy(), [CrashFreedom()], input_lengths=LENGTHS, verdict_store=verdict_store
+        )
+        assert second.statistics.verdicts_reused == 1
+        assert second.certifications[0].provenance == DELTA_REUSED
+        firsts = [ce.packet for ce in first.certifications[0].results[0].counterexamples]
+        seconds = [ce.packet for ce in second.certifications[0].results[0].counterexamples]
+        assert firsts and firsts == seconds
+        assert second.verdicts() == first.verdicts()
+
+
+# -- manifest hygiene -----------------------------------------------------------------
+
+
+class TestManifests:
+    def test_manifest_round_trips_through_json(self):
+        manifest = catalog_manifest(fleet_catalog(2))
+        again = json.loads(json.dumps(manifest))
+        assert again == manifest
+
+    def test_duplicate_pipeline_names_are_rejected(self):
+        from repro.orchestrator import OrchestratorError
+
+        twins = [ip_router_pipeline(length=1, name="twin") for _ in range(2)]
+        with pytest.raises(OrchestratorError):
+            catalog_manifest(twins)
+
+    def test_version_mismatch_is_loud(self):
+        from repro.orchestrator import OrchestratorError, diff_manifests
+
+        good = catalog_manifest(fleet_catalog(1))
+        stale = dict(good, version=999)
+        with pytest.raises(OrchestratorError):
+            diff_manifests(stale, good)
+
+    def test_mode_change_impacts_everything(self):
+        from repro.orchestrator import diff_manifests
+
+        concrete = catalog_manifest(fleet_catalog(2), SymbexOptions())
+        havoc = catalog_manifest(fleet_catalog(2), SymbexOptions(static_table_mode="havoc"))
+        impact = diff_manifests(concrete, havoc)
+        assert len(impact.impacted) == 2
+        assert all("static-table mode" in pi.causes[0] for pi in impact.impacted)
+
+
+# -- the CLI --------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_certify_exit_zero_when_certified(self, tmp_path, capsys):
+        code = cli_main(
+            ["certify", "--catalog", "ip-router:2", "--lengths", "24",
+             "--report", str(tmp_path / "report.json")]
+        )
+        assert code == 0
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["exit_code"] == 0
+        assert report["certifications"][0]["provenance"] == "fresh"
+
+    def test_certify_exit_one_on_violation(self, capsys):
+        assert cli_main(["certify", "--catalog", "unprotected-ipoptions",
+                         "--lengths", "24"]) == 1
+
+    def test_certify_exit_two_on_unknown(self, capsys):
+        assert cli_main(["certify", "--catalog", "synthetic:4x3", "--lengths", "12",
+                         "--max-paths", "4"]) == 2
+
+    def test_certify_exit_sixtyfour_on_usage_error(self, capsys):
+        assert cli_main(["certify", "--catalog", "no-such-spec"]) == 64
+        assert cli_main(["certify"]) == 64
+        assert cli_main(["no-such-command"]) == 64
+
+    def test_certify_delta_flow_and_manifest(self, tmp_path, capsys):
+        manifest_path = tmp_path / "manifest.json"
+        common = ["--lengths", "24", "--store", str(tmp_path / "s"),
+                  "--verdict-store", str(tmp_path / "v")]
+        assert cli_main(["certify", "--catalog", "fleet:2", *common,
+                         "--emit-manifest", str(manifest_path)]) == 0
+        capsys.readouterr()  # drain the first run's human output
+        code = cli_main(["certify", "--catalog", "fleet:2", *common,
+                         "--baseline", str(manifest_path), "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["statistics"]["verdicts_reused"] == 2
+        assert all(c["provenance"] == "delta-reused" for c in document["certifications"])
+
+    def test_diff_exit_codes(self, capsys):
+        assert cli_main(["diff", "fleet:2", "fleet:2"]) == 0
+        assert cli_main(["diff", "fleet:2", "churn:routes:2"]) == 1
+
+    def test_churn_spec_accepts_target_zero(self, capsys):
+        # Catalog indices are 0-based; the first slot must be reachable.
+        assert cli_main(["diff", "fleet:2", "churn:routes:2:0"]) == 1
+
+    def test_diff_reads_manifest_files(self, tmp_path, capsys):
+        manifest_path = tmp_path / "old.json"
+        manifest_path.write_text(json.dumps(catalog_manifest(fleet_catalog(2))))
+        assert cli_main(["diff", str(manifest_path), "fleet:2"]) == 0
+
+    def test_store_gc_and_stats(self, tmp_path, capsys):
+        store_dir = tmp_path / "s"
+        assert cli_main(["certify", "--catalog", "ip-router:1", "--lengths", "24",
+                         "--store", str(store_dir)]) == 0
+        assert cli_main(["store", "stats", "--store", str(store_dir)]) == 0
+        assert "entries" in capsys.readouterr().out
+        assert cli_main(["store", "gc", "--store", str(store_dir),
+                         "--older-than-days", "0"]) == 0
+        assert len(SummaryStore(store_dir)) == 0
+        assert cli_main(["store", "gc"]) == 64  # no store given
+
+
+class TestBenchCompareCli:
+    @staticmethod
+    def _write_current(directory, value=1.0):
+        (directory / "BENCH_demo.json").write_text(
+            json.dumps({"bench": "demo", "results": {"seconds": value, "count": 0}})
+        )
+
+    @staticmethod
+    def _write_baseline(directory, seconds=1.0):
+        baselines = directory / "baselines"
+        baselines.mkdir(exist_ok=True)
+        (baselines / "demo.json").write_text(
+            json.dumps({
+                "bench": "demo",
+                "metrics": {
+                    "seconds": {"value": seconds, "direction": "lower"},
+                    "count": {"value": 0, "direction": "lower", "tolerance": 0},
+                },
+            })
+        )
+        return baselines
+
+    def test_within_tolerance_passes(self, tmp_path, capsys):
+        self._write_current(tmp_path)
+        baselines = self._write_baseline(tmp_path, seconds=0.9)
+        assert cli_main(["bench-compare", "--baseline", str(baselines),
+                         "--current", str(tmp_path), "--tolerance", "0.35"]) == 0
+
+    def test_inflated_baseline_fails_the_gate(self, tmp_path, capsys):
+        # The acceptance check: synthetically inflate expectations (a much
+        # faster claimed baseline) and the gate must exit non-zero.
+        self._write_current(tmp_path, value=1.0)
+        baselines = self._write_baseline(tmp_path, seconds=0.1)
+        assert cli_main(["bench-compare", "--baseline", str(baselines),
+                         "--current", str(tmp_path), "--tolerance", "0.35"]) != 0
+
+    def test_missing_bench_file_fails_the_gate(self, tmp_path, capsys):
+        baselines = self._write_baseline(tmp_path)
+        assert cli_main(["bench-compare", "--baseline", str(baselines),
+                         "--current", str(tmp_path / "empty")]) == 1
+
+    def test_missing_metric_fails_the_gate(self, tmp_path, capsys):
+        (tmp_path / "BENCH_demo.json").write_text(
+            json.dumps({"bench": "demo", "results": {"other": 1}})
+        )
+        baselines = self._write_baseline(tmp_path)
+        assert cli_main(["bench-compare", "--baseline", str(baselines),
+                         "--current", str(tmp_path)]) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        self._write_current(tmp_path)
+        baselines = self._write_baseline(tmp_path)
+        assert cli_main(["bench-compare", "--baseline", str(baselines),
+                         "--current", str(tmp_path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert len(document["checks"]) == 2

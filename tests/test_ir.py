@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ir import (
-    Assert,
     Assign,
     BuilderError,
     DictState,
@@ -20,7 +19,6 @@ from repro.ir import (
     ProgramValidationError,
     Reg,
     StoreField,
-    While,
     validate_program,
 )
 

@@ -158,6 +158,56 @@ class TestSummaryStore:
         path.write_text(json.dumps({"version": 999}))
         assert store.load(element, 24, CONCRETE) is None
 
+    def test_corrupt_entries_are_quarantined_not_reparsed(self, tmp_path):
+        # The satellite fix: a corrupt entry used to stay in place, so
+        # every warm run re-read and re-parsed the same garbage.  Now the
+        # first detection moves it aside; later loads are plain misses.
+        element = ip_router_elements(1)[0]
+        store = SummaryStore(tmp_path)
+        digest = store.save(element, 24, CONCRETE, _summarize(element))
+        path = store._path(digest)
+        path.write_text("{not json")
+
+        assert store.load(element, 24, CONCRETE) is None
+        assert store.statistics.corrupt_entries == 1
+        assert store.statistics.quarantined == 1
+        assert not path.exists()  # moved aside: the garbage is gone
+        assert path.with_name(path.name + ".corrupt").exists()  # kept for post-mortem
+        assert len(store) == 0  # quarantined entries are not live entries
+
+        # The second load never touches the garbage again: a plain miss,
+        # no new corruption detected.
+        assert store.load(element, 24, CONCRETE) is None
+        assert store.statistics.corrupt_entries == 1
+        assert store.statistics.misses == 2
+
+        # Recomputing overwrites the digest; gc sweeps the quarantine file.
+        store.save(element, 24, CONCRETE, _summarize(element))
+        assert store.load(element, 24, CONCRETE) is not None
+        result = store.gc()
+        assert result.removed_debris == 1 and result.kept_entries == 1
+        assert not path.with_name(path.name + ".corrupt").exists()
+
+    def test_gc_evicts_old_entries(self, tmp_path):
+        import os
+        import time
+
+        element = ip_router_elements(1)[0]
+        store = SummaryStore(tmp_path)
+        digest = store.save(element, 24, CONCRETE, _summarize(element))
+        old = time.time() - 3600
+        os.utime(store._path(digest), (old, old))
+        kept = store.gc(older_than_seconds=7200)
+        assert kept.removed_entries == 0 and kept.kept_entries == 1
+        # A hit refreshes the mtime: entries that are *read* stay warm, so
+        # "older than" means "not touched", not "not rewritten".
+        assert store.load(element, 24, CONCRETE) is not None
+        assert store.gc(older_than_seconds=1800).removed_entries == 0
+        os.utime(store._path(digest), (old, old))
+        swept = store.gc(older_than_seconds=60)
+        assert swept.removed_entries == 1 and swept.bytes_freed > 0
+        assert len(store) == 0
+
     def test_key_distinguishes_length_mode_and_config(self):
         a, b = SyntheticBranchyElement(2, name="a"), SyntheticBranchyElement(3, name="b")
         assert summary_key(a, 24, CONCRETE) != summary_key(a, 32, CONCRETE)

@@ -14,7 +14,6 @@ from repro.smt import (
     CheckResult,
     Eq,
     Not,
-    Or,
     Solver,
     SolverContext,
     UGT,

@@ -78,7 +78,10 @@ class TestSATSolver:
         for assignment in range(1 << num_vars):
             values = [(assignment >> i) & 1 == 1 for i in range(num_vars)]
             ok = all(
-                any((values[abs(l) - 1] if l > 0 else not values[abs(l) - 1]) for l in clause)
+                any(
+                    (values[abs(lit) - 1] if lit > 0 else not values[abs(lit) - 1])
+                    for lit in clause
+                )
                 for clause in clauses
             )
             if ok:

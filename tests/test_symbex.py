@@ -1,7 +1,6 @@
 """Tests for the symbolic execution engine: segments, crash forks, loops, havoc state."""
 
 import pytest
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import smt

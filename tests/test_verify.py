@@ -1,6 +1,5 @@
 """Tests for the verifier: Step-1 suspects, Step-2 composition, properties, baseline."""
 
-import pytest
 
 from repro import smt
 from repro.dataplane import Element, Pipeline, PipelineDriver
