@@ -25,6 +25,7 @@ from typing import List, NoReturn, Optional, Sequence, Tuple, Union
 
 from ..orchestrator import (
     OrchestratorError,
+    QueryStore,
     SummaryStore,
     VerdictStore,
     diff_manifests,
@@ -103,6 +104,11 @@ def _build_parser() -> _Parser:
         help="verdict store directory: enables delta mode (unchanged pipelines reuse verdicts)",
     )
     certify.add_argument(
+        "--query-store", metavar="DIR",
+        help="query store directory (persistent L3 solver-query cache: warm runs "
+             "answer solver questions from disk, zero SAT-core calls when unchanged)",
+    )
+    certify.add_argument(
         "--baseline", metavar="MANIFEST",
         help="previous catalog manifest: attaches impact provenance to each verdict",
     )
@@ -163,6 +169,7 @@ def _build_parser() -> _Parser:
         sub = store_commands.add_parser(verb, help=text)
         sub.add_argument("--store", metavar="DIR", help="summary store directory")
         sub.add_argument("--verdict-store", metavar="DIR", help="verdict store directory")
+        sub.add_argument("--query-store", metavar="DIR", help="query store directory")
         sub.add_argument("--json", action="store_true")
         if verb == "gc":
             sub.add_argument(
@@ -210,6 +217,7 @@ def _run_certify(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=SummaryStore(args.store) if args.store else None,
         verdict_store=VerdictStore(args.verdict_store) if args.verdict_store else None,
+        query_store=QueryStore(args.query_store) if args.query_store else None,
         options=options,
         max_counterexamples=args.max_counterexamples,
         confirm_by_replay=not args.no_replay,
@@ -293,14 +301,18 @@ def _run_bench_compare(args: argparse.Namespace) -> int:
 # -- store maintenance ----------------------------------------------------------------
 
 
-def _open_stores(args: argparse.Namespace) -> List[Tuple[str, Union[SummaryStore, VerdictStore]]]:
-    stores: List[Tuple[str, Union[SummaryStore, VerdictStore]]] = []
+def _open_stores(
+    args: argparse.Namespace,
+) -> List[Tuple[str, Union[SummaryStore, VerdictStore, QueryStore]]]:
+    stores: List[Tuple[str, Union[SummaryStore, VerdictStore, QueryStore]]] = []
     if args.store:
         stores.append(("summary", SummaryStore(args.store)))
     if args.verdict_store:
         stores.append(("verdict", VerdictStore(args.verdict_store)))
+    if args.query_store:
+        stores.append(("query", QueryStore(args.query_store)))
     if not stores:
-        raise _UsageError("pass --store and/or --verdict-store")
+        raise _UsageError("pass --store, --verdict-store and/or --query-store")
     return stores
 
 

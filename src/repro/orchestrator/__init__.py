@@ -55,6 +55,7 @@ from .serialize import (
 from .store import (
     GcResult,
     JsonFileStore,
+    QueryStore,
     StoreStatistics,
     SummaryStore,
     program_fingerprint,
@@ -83,6 +84,7 @@ __all__ = [
     "OrchestratorError",
     "PipelineCertification",
     "PipelineImpact",
+    "QueryStore",
     "RecertificationReport",
     "SerializationError",
     "StoreError",

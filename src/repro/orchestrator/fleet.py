@@ -26,6 +26,8 @@ runs.
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -40,9 +42,17 @@ from ..verify.pipeline_verifier import PipelineVerifier
 from ..verify.properties import Property
 from ..verify.report import InstructionBoundResult, VerificationResult
 from .errors import OrchestratorError
-from .store import SummaryStore
+from .store import QueryStore, SummaryStore
 from .verdicts import VerdictStore, verdict_key
-from .workers import COMPUTED, EXPLODED, job_digest, run_tasks, summarize_jobs
+from .workers import (
+    COMPUTED,
+    EXPLODED,
+    job_digest,
+    merge_query_entries,
+    run_tasks,
+    summarize_jobs,
+    worker_query_cache,
+)
 
 #: Provenance labels: the certification was verified on this run, ...
 FRESH = "fresh"
@@ -136,6 +146,11 @@ class FleetStatistics:
     #: work; serial mode reuses the in-process cache and reports 0.
     step2_store_loads: int = 0
     solver_checks: int = 0
+    #: Times a CDCL search actually ran across the whole (fresh) fleet
+    #: run — 0 on a warm run backed by the persistent L3 query cache.
+    sat_core_calls: int = 0
+    #: Slice questions the query-optimization layer answered from cache.
+    qcache_hits: int = 0
     composed_paths_checked: int = 0
     counterexamples: int = 0
     #: Delta-mode split: pipelines verified on this run vs. served whole
@@ -184,7 +199,9 @@ class FleetReport:
             f"{stats.distinct_summary_jobs} distinct jobs, "
             f"{stats.summaries_computed} computed, {stats.store_hits} from store",
             f"step 2     : {stats.composed_paths_checked} composed paths, "
-            f"{stats.solver_checks} solver checks"
+            f"{stats.solver_checks} solver checks, "
+            f"{stats.sat_core_calls} SAT-core calls "
+            f"({stats.qcache_hits} query-cache hits)"
             + (
                 f", {stats.step2_store_loads} store rehydrations"
                 if stats.step2_store_loads
@@ -318,8 +335,13 @@ def _certify_one(
     return certification
 
 
-def _certify_worker(payload) -> Tuple[PipelineCertification, int, int]:
-    """Per-pipeline Step-2 task: certify one pipeline from the shared store."""
+def _certify_worker(payload) -> Tuple[PipelineCertification, int, int, list]:
+    """Per-pipeline Step-2 task: certify one pipeline from the shared store.
+
+    The query cache is opened read-only (see
+    :func:`repro.orchestrator.workers.worker_query_cache`); newly solved
+    slice entries ride back with the result for the parent to merge.
+    """
     (
         pipeline,
         properties,
@@ -330,7 +352,8 @@ def _certify_worker(payload) -> Tuple[PipelineCertification, int, int]:
         confirm_by_replay,
         with_instruction_bound,
     ) = payload
-    cache = SummaryCache(options, store=SummaryStore(store_root))
+    query_cache = worker_query_cache(options)
+    cache = SummaryCache(options, store=SummaryStore(store_root), query_cache=query_cache)
     certification = _certify_one(
         pipeline,
         properties,
@@ -340,7 +363,12 @@ def _certify_worker(payload) -> Tuple[PipelineCertification, int, int]:
         confirm_by_replay,
         with_instruction_bound,
     )
-    return certification, cache.statistics.misses, cache.statistics.l2_hits
+    return (
+        certification,
+        cache.statistics.misses,
+        cache.statistics.l2_hits,
+        query_cache.new_entries if query_cache is not None else [],
+    )
 
 
 def certify_fleet(
@@ -354,14 +382,26 @@ def certify_fleet(
     confirm_by_replay: bool = True,
     instruction_bounds: bool = False,
     verdict_store: Optional[Union[VerdictStore, str]] = None,
+    query_store: Optional[Union[QueryStore, str]] = None,
 ) -> FleetReport:
     """Certify every pipeline in the catalog against every property.
 
-    ``workers`` > 1 shards both steps across processes; a ``store`` (path
-    or :class:`SummaryStore`) persists summaries across runs — pass the
-    same store twice and the second run performs no symbolic execution for
-    an unchanged catalog.  Parallel mode requires the shared store as its
-    transport; an ephemeral one is created when none is given.
+    ``workers`` > 1 shards both steps across processes; the effective
+    pool size is ``min(requested, os.cpu_count())`` — forking a pool on
+    a host without the cores to run it is strictly slower than serial,
+    so one effective worker falls back to in-process execution.  A
+    ``store`` (path or :class:`SummaryStore`) persists summaries across
+    runs — pass the same store twice and the second run performs no
+    symbolic execution for an unchanged catalog.  Parallel mode requires
+    the shared store as its transport; an ephemeral one is created when
+    none is given.
+
+    A ``query_store`` (path or :class:`QueryStore`) persists the query
+    cache's L3 tier: sliced solver verdicts, models and unsat cores
+    survive across runs, so a warm re-certification performs **zero
+    SAT-core calls** for unchanged pipelines — the solver-level analogue
+    of the summary store's zero-symbex warm path.  Workers open it
+    read-only and ship new entries back for the parent to merge.
 
     A ``verdict_store`` (path or :class:`VerdictStore`) turns the run into
     **delta mode**: pipelines whose fingerprint x property-set record
@@ -374,6 +414,10 @@ def certify_fleet(
     """
     started = time.perf_counter()
     options = options or SymbexOptions()
+    # More workers than cores is pure overhead (fork + store round trips
+    # with no parallelism underneath: 0.87x on a 1-CPU host); clamp to
+    # the machine, and one effective worker means the serial path.
+    workers = max(1, min(workers, os.cpu_count() or 1))
     for pipeline in pipelines:
         pipeline.validate()
         _entry_of(pipeline)  # fail fast on ambiguous catalogs, in any mode
@@ -387,6 +431,13 @@ def certify_fleet(
         store = SummaryStore(store)
     if isinstance(verdict_store, (str,)) or hasattr(verdict_store, "__fspath__"):
         verdict_store = VerdictStore(verdict_store)
+    if isinstance(query_store, (str,)) or hasattr(query_store, "__fspath__"):
+        query_store = QueryStore(query_store)
+    if query_store is not None:
+        # The L3 tier travels as an engine option so worker processes and
+        # every engine the caches spawn see the same directory.  The key
+        # functions (summary_key, verdict_key) deliberately ignore it.
+        options = dataclasses.replace(options, query_cache_dir=str(query_store.root))
 
     # Delta mode: serve unchanged pipelines straight from the verdict store.
     merged: Dict[int, PipelineCertification] = {}
@@ -430,6 +481,12 @@ def certify_fleet(
             report.statistics.distinct_summary_jobs = len(summaries)
             report.statistics.summaries_computed = computed
             report.statistics.store_hits = loaded
+            # Step-1 solver work happened in worker forks; the counters
+            # ride back on the computed summaries (store-loaded ones are
+            # rightly zero), so parallel runs account like serial ones.
+            for summary in summaries.values():
+                report.statistics.sat_core_calls += getattr(summary, "sat_core_calls", 0)
+                report.statistics.qcache_hits += getattr(summary, "qcache_hits", 0)
             # Step 2: per-pipeline composition checks, hydrated from the store.
             payloads = [
                 (
@@ -444,7 +501,8 @@ def certify_fleet(
                 )
                 for pipeline in fresh_pipelines
             ]
-            for certification, misses, l2_hits in run_tasks(
+            shipped_entries: List[tuple] = []
+            for certification, misses, l2_hits, query_entries in run_tasks(
                 _certify_worker, payloads, workers=workers
             ):
                 fresh_certifications.append(certification)
@@ -454,6 +512,8 @@ def certify_fleet(
                 # from the avoided-work counter.
                 report.statistics.summaries_computed += misses
                 report.statistics.step2_store_loads += l2_hits
+                shipped_entries.extend(query_entries)
+            merge_query_entries(options.query_cache_dir, shipped_entries)
         elif fresh_pipelines:
             # Serial: one shared cache dedupes across the catalog in-process
             # (and through the store, when one is provided).
@@ -492,7 +552,16 @@ def certify_fleet(
             continue
         for result in certification.results:
             report.statistics.solver_checks += result.statistics.solver_checks
+            report.statistics.sat_core_calls += result.statistics.sat_core_calls
+            report.statistics.qcache_hits += result.statistics.qcache_hits
             report.statistics.composed_paths_checked += result.statistics.composed_paths_checked
             report.statistics.counterexamples += len(result.counterexamples)
+        if certification.instruction_bound is not None:
+            report.statistics.sat_core_calls += (
+                certification.instruction_bound.statistics.sat_core_calls
+            )
+            report.statistics.qcache_hits += (
+                certification.instruction_bound.statistics.qcache_hits
+            )
     report.statistics.elapsed_seconds = time.perf_counter() - started
     return report

@@ -31,7 +31,7 @@ work — it explains the delta, it does not gatekeep it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from ..dataplane.fingerprint import (
     canonical_elements,
@@ -44,7 +44,7 @@ from ..symbex.engine import StaticTableMode, SymbexOptions
 from ..verify.properties import Property
 from .errors import OrchestratorError
 from .fleet import FleetReport, certify_fleet
-from .store import SummaryStore
+from .store import QueryStore, SummaryStore
 from .verdicts import VerdictStore
 
 __all__ = [
@@ -322,6 +322,7 @@ def recertify(
     max_counterexamples: int = 3,
     confirm_by_replay: bool = True,
     instruction_bounds: bool = False,
+    query_store: Optional[Union[QueryStore, str]] = None,
 ) -> RecertificationReport:
     """Re-certify a catalog, doing work proportional to what changed.
 
@@ -330,7 +331,9 @@ def recertify(
     provenance.  The reuse decision itself is the verdict store's
     content-addressed lookup (see :func:`certify_fleet`), so running
     without a baseline still reuses every unchanged pipeline — it just
-    cannot explain *why* the changed ones changed.
+    cannot explain *why* the changed ones changed.  ``query_store``
+    persists the solver-level L3 query-cache tier, exactly as in
+    :func:`certify_fleet`.
     """
     options = options or SymbexOptions()
     manifest = catalog_manifest(pipelines, options)
@@ -346,6 +349,7 @@ def recertify(
         confirm_by_replay=confirm_by_replay,
         instruction_bounds=instruction_bounds,
         verdict_store=verdict_store,
+        query_store=query_store,
     )
     for certification in report.certifications:
         pipeline_impact = impact.by_name(certification.pipeline_name) if impact else None

@@ -19,13 +19,16 @@ one redundant computation, never a torn read.
 :class:`JsonFileStore` is the shared layout and maintenance machinery
 (two-level digest fan-out, atomic writes, corrupt-entry quarantine,
 garbage collection); :class:`SummaryStore` specializes it for element
-summaries, and :class:`repro.orchestrator.verdicts.VerdictStore` for
-per-pipeline verdict records.
+summaries, :class:`QueryStore` for sliced solver-query verdicts (the
+query cache's L3 tier), and
+:class:`repro.orchestrator.verdicts.VerdictStore` for per-pipeline
+verdict records.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import time
 from dataclasses import dataclass
@@ -42,6 +45,7 @@ from .serialize import FORMAT_VERSION, dumps_summary, loads_summary
 __all__ = [
     "GcResult",
     "JsonFileStore",
+    "QueryStore",
     "StoreStatistics",
     "SummaryStore",
     "program_fingerprint",  # re-exported from repro.dataplane.fingerprint
@@ -292,3 +296,49 @@ class SummaryStore(JsonFileStore):
 
     def save_digest(self, digest: str, summary: ElementSummary) -> None:
         self.write_entry(digest, dumps_summary(summary))
+
+
+class QueryStore(JsonFileStore):
+    """Content-addressed persistence for sliced solver-query verdicts.
+
+    The **L3 tier** of :class:`repro.smt.qcache.QueryCache`: entries are
+    keyed by a *structural* slice fingerprint (term uids are
+    process-local; the fingerprint survives any process), and the payload
+    carries the verdict plus a SAT model or a minimized unsat core.  A
+    warm fleet re-certification answers every solver question from here
+    the same way the summary store lets it skip symbolic execution.
+
+    Payload versioning lives in the qcache layer (``PAYLOAD_VERSION``
+    inside the payload); this class only guards JSON well-formedness,
+    quarantining garbage exactly like the other tiers.
+    """
+
+    kind = "query store"
+
+    def contains(self, digest: str) -> bool:
+        """Entry-existence probe (one stat), without reading or counting a hit.
+
+        The cache uses it to skip re-persisting entries its in-memory
+        shortcut tiers re-derived — on a warm run every slice answer is
+        already on disk, and a stat is far cheaper than a tempfile+rename
+        rewrite."""
+        return self._path(digest).is_file()
+
+    def load_payload(self, digest: str) -> Optional[dict]:
+        """The stored payload dict, or ``None`` (a miss) when absent/corrupt."""
+        text = self.read_entry(digest)
+        if text is None:
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("query-store entry is not an object")
+        except Exception:
+            self.quarantine_entry(digest)
+            self.statistics.misses += 1
+            return None
+        self.statistics.hits += 1
+        return payload
+
+    def save_payload(self, digest: str, payload: dict) -> None:
+        self.write_entry(digest, json.dumps(payload, sort_keys=True, separators=(",", ":")))

@@ -25,11 +25,12 @@ import multiprocessing
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from ..dataplane.element import Element
+from ..smt.qcache import QueryCache, build_query_cache
 from ..symbex.engine import SymbexOptions, SymbolicEngine
 from ..symbex.errors import PathExplosionError
 from ..symbex.segment import ElementSummary
 from .serialize import dumps_summary, loads_summary
-from .store import SummaryStore, summary_key
+from .store import QueryStore, SummaryStore, summary_key
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -75,17 +76,60 @@ LOADED = "loaded"
 EXPLODED = "exploded"
 
 
+def worker_query_cache(options: SymbexOptions) -> Optional[QueryCache]:
+    """The query cache a worker process should route through.
+
+    Workers open the persistent L3 tier **read-only**: many forks hitting
+    one directory is fine for reads (and for the atomic writes the
+    parent does), but a write storm of per-slice entries from every
+    worker is not.  Entries a worker could not persist accumulate in
+    ``cache.new_entries`` and travel back with its result for the parent
+    to merge on join (:func:`merge_query_entries`).
+    """
+    return build_query_cache(
+        options.incremental and options.query_opt,
+        options.query_cache_dir,
+        readonly=True,
+    )
+
+
+def merge_query_entries(
+    store_root: Optional[str], entries: Sequence[Tuple[str, dict]]
+) -> None:
+    """Merge worker-shipped query-cache entries into the parent's L3 store."""
+    if store_root is None or not entries:
+        return
+    store = QueryStore(store_root)
+    written: set = set()
+    for digest, payload in entries:
+        if digest not in written:
+            written.add(digest)
+            store.save_payload(digest, payload)
+
+
+#: (sat_core_calls, qcache_hits) a worker performed for one job.  The
+#: counters are runtime accounting and deliberately not serialized with
+#: the summary, so they travel alongside it and are restored on arrival —
+#: parallel runs then account Step-1 solver work exactly like serial ones.
+WorkerWork = Tuple[int, int]
+
+
 def _summarize_worker(
     payload: Tuple[Element, int, SymbexOptions, Optional[str]],
-) -> Tuple[str, str]:
-    """Compute (or fetch) one summary; returns (status, serialized summary | message)."""
+) -> Tuple[str, str, List[Tuple[str, dict]], WorkerWork]:
+    """Compute (or fetch) one summary.
+
+    Returns (status, serialized summary | message, new query-cache
+    entries the parent should merge, solver work performed).
+    """
     element, input_length, options, store_root = payload
     store = SummaryStore(store_root) if store_root is not None else None
     if store is not None:
         stored = store.load(element, input_length, options)
         if stored is not None:
-            return LOADED, dumps_summary(stored)
-    engine = SymbolicEngine(options)
+            return LOADED, dumps_summary(stored), [], (0, 0)
+    query_cache = worker_query_cache(options)
+    engine = SymbolicEngine(options, query_cache=query_cache)
     try:
         summary = engine.summarize_element(
             element.program,
@@ -95,10 +139,17 @@ def _summarize_worker(
             configuration_key=element.configuration_key(),
         )
     except PathExplosionError as exc:
-        return EXPLODED, str(exc)
+        # A blown budget yields no summary; its partial solver work is
+        # uncounted, matching the serial path (which raises the same way).
+        return EXPLODED, str(exc), query_cache.new_entries if query_cache else [], (0, 0)
     if store is not None:
         store.save(element, input_length, options, summary)
-    return COMPUTED, dumps_summary(summary)
+    return (
+        COMPUTED,
+        dumps_summary(summary),
+        query_cache.new_entries if query_cache else [],
+        (summary.sat_core_calls, summary.qcache_hits),
+    )
 
 
 def summarize_jobs(
@@ -120,10 +171,22 @@ def summarize_jobs(
         store_root = str(store.root) if isinstance(store, SummaryStore) else str(store)
     payloads = [(element, length, options, store_root) for element, length in jobs]
     results = run_tasks(_summarize_worker, payloads, workers=workers)
-    return [
-        (status, None, text) if status == EXPLODED else (status, loads_summary(text), "")
-        for status, text in results
-    ]
+    merge_query_entries(
+        options.query_cache_dir,
+        [entry for _status, _text, entries, _work in results for entry in entries],
+    )
+    merged: List[Tuple[str, Optional[ElementSummary], str]] = []
+    for status, text, _entries, work in results:
+        if status == EXPLODED:
+            merged.append((status, None, text))
+            continue
+        summary = loads_summary(text)
+        if status == COMPUTED:
+            # Serialization drops the runtime work counters; restore the
+            # worker's so downstream accounting matches a serial run.
+            summary.sat_core_calls, summary.qcache_hits = work
+        merged.append((status, summary, ""))
+    return merged
 
 
 def job_digest(element: Element, input_length: int, options: SymbexOptions) -> str:

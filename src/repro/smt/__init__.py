@@ -62,7 +62,15 @@ from .errors import (
 from .context import AssumptionChecker, ContextStatistics, SolverContext
 from .evaluate import evaluate
 from .model import Model
+from .qcache import (
+    QueryCache,
+    QueryCacheStatistics,
+    build_query_cache,
+    slice_fingerprint,
+    term_digest,
+)
 from .simplify import is_literal_false, is_literal_true, simplify
+from .slicing import Slice, free_variable_names, partition
 from .solver import CheckResult, Solver, SolverStatistics, check_formula
 from .sorts import BOOL, BitVecSort, BoolSort, Sort, bitvec
 from .terms import FALSE, TRUE, Op, Term, intern_term, iter_dag, mk_term
@@ -96,11 +104,14 @@ __all__ = [
     "Not",
     "Op",
     "Or",
+    "QueryCache",
+    "QueryCacheStatistics",
     "SGE",
     "SGT",
     "SLE",
     "SLT",
     "SignExt",
+    "Slice",
     "SmtError",
     "Solver",
     "SolverContext",
@@ -119,16 +130,21 @@ __all__ = [
     "Xor",
     "ZeroExt",
     "bitvec",
+    "build_query_cache",
     "check_formula",
     "conjoin",
     "disjoin",
     "evaluate",
+    "free_variable_names",
     "intern_term",
     "is_literal_false",
     "is_literal_true",
     "iter_dag",
     "mk_term",
+    "partition",
     "rename_variables",
     "simplify",
+    "slice_fingerprint",
     "substitute",
+    "term_digest",
 ]

@@ -20,6 +20,14 @@ CDCL solver alive for its whole lifetime:
 layers need on top: *alignment* of the context's scope stack to a query's
 constraint prefix (so append-only constraint lists share work with their
 siblings), and a feasibility memo keyed on interned term uids.
+
+Both classes optionally route through the **query-optimization layer**
+(:mod:`repro.smt.qcache`): the query is partitioned into
+variable-independent slices, each slice is answered by the cheapest cache
+tier that can (exact verdict, unsat-core subset, SAT superset, model
+reuse, persistent L3), and only unseen slices reach this context's CDCL
+core — tried first with the interval quick check, since slices are small
+enough for it to succeed where whole conjunctions are not.
 """
 
 from __future__ import annotations
@@ -31,11 +39,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .bitblast import BitBlaster
 from .cnf import CNFBuilder
 from .errors import SolverError
+from .interval import QuickCheckResult, quick_check
 from .model import Model, model_from_bits
+from .qcache import QueryCache
 from .sat import SATSolver, SatResult
 from .simplify import simplify
 from .solver import CheckResult
-from .terms import Term, intern_term
+from .terms import Term, intern_term, mk_and
 
 
 @dataclass
@@ -48,6 +58,17 @@ class ContextStatistics:
     unknown: int = 0
     terms_encoded: int = 0
     literals_reused: int = 0
+    #: Times the CDCL core actually ran a search.  With the query cache
+    #: attached this counts per-slice solves; cache and quick-check
+    #: answers never reach it — the counter the optimization layer is
+    #: judged by.
+    sat_core_calls: int = 0
+    #: Slice sub-queries handed to this context by the query cache.
+    slices_solved: int = 0
+    #: Slice sub-queries the interval quick check decided (no SAT call).
+    quick_check_hits: int = 0
+    #: Slice questions answered by the query cache without solving.
+    qcache_hits: int = 0
     sat_conflicts: int = 0
     sat_decisions: int = 0
     learned_clauses: int = 0
@@ -62,6 +83,10 @@ class ContextStatistics:
             "unknown": self.unknown,
             "terms_encoded": self.terms_encoded,
             "literals_reused": self.literals_reused,
+            "sat_core_calls": self.sat_core_calls,
+            "slices_solved": self.slices_solved,
+            "quick_check_hits": self.quick_check_hits,
+            "qcache_hits": self.qcache_hits,
             "sat_conflicts": self.sat_conflicts,
             "sat_decisions": self.sat_decisions,
             "learned_clauses": self.learned_clauses,
@@ -81,12 +106,20 @@ class SolverContext:
     phases between calls.
     """
 
-    def __init__(self, max_conflicts: Optional[int] = 200_000) -> None:
+    def __init__(
+        self,
+        max_conflicts: Optional[int] = 200_000,
+        query_cache: Optional[QueryCache] = None,
+    ) -> None:
+        """``query_cache`` routes every check through the slicing/cache
+        layer; ``None`` keeps the direct assumption-solving path (the
+        differential-testing baseline)."""
         self._cnf = CNFBuilder()
         self._blaster = BitBlaster(self._cnf)
         self._sat = SATSolver(self._cnf.num_vars)
         self._clauses_fed = 0
         self._max_conflicts = max_conflicts
+        self.query_cache = query_cache
         # Scope stack of asserted terms; scope 0 is the root and never popped.
         self._scopes: List[List[Term]] = [[]]
         # Interned-term uid -> (term, root literal).  Holding the term keeps
@@ -137,6 +170,9 @@ class SolverContext:
         self.statistics.checks += 1
         self._model = None
 
+        if self.query_cache is not None:
+            return self._check_optimized(extra, started)
+
         literals: List[int] = []
         trivially_unsat = False
         for term in self.assertions() + [t for t in extra]:
@@ -153,25 +189,82 @@ class SolverContext:
             return self._finish(CheckResult.UNSAT)
 
         solve_started = time.perf_counter()
+        status, model = self._solve_assumptions(literals)
+        self.statistics.solve_seconds += time.perf_counter() - solve_started
+        self._model = model
+        return self._finish(status)
+
+    def _check_optimized(self, extra: Sequence[Term], started: float) -> str:
+        """Decide the active assertions + ``extra`` through the query cache.
+
+        Every constraint travels as a per-call assumption: the cache's
+        slicing makes prefix bookkeeping unnecessary, and the persistent
+        encodings/learned clauses of this context still back every slice
+        that actually has to be solved.
+        """
+        terms: List[Term] = []
+        for term in list(self.assertions()) + list(extra):
+            reduced = simplify(term)
+            if reduced.is_true():
+                continue
+            if reduced.is_false():
+                self.statistics.encode_seconds += time.perf_counter() - started
+                return self._finish(CheckResult.UNSAT)
+            terms.append(intern_term(reduced))
+        self.statistics.encode_seconds += time.perf_counter() - started
+
+        solve_started = time.perf_counter()
+        hits_before = self.query_cache.statistics.hits
+        status, model = self.query_cache.check(terms, self._solve_slice)
+        self.statistics.qcache_hits += self.query_cache.statistics.hits - hits_before
+        self.statistics.solve_seconds += time.perf_counter() - solve_started
+        if status == CheckResult.SAT:
+            self._model = model if model is not None else Model({})
+        return self._finish(status)
+
+    def _solve_slice(self, terms: Sequence[Term]) -> Tuple[str, Optional[Model]]:
+        """Decide one variable-independent slice on the persistent core.
+
+        Slices are small, so the interval quick check — useless on whole
+        path conjunctions — resolves most of them outright; the rest are
+        one assumption solve on the retained CNF.
+        """
+        self.statistics.slices_solved += 1
+        goal = terms[0] if len(terms) == 1 else mk_and(*terms)
+        quick = quick_check(goal)
+        if quick.status == QuickCheckResult.UNSAT:
+            self.statistics.quick_check_hits += 1
+            return CheckResult.UNSAT, None
+        if quick.status == QuickCheckResult.SAT:
+            self.statistics.quick_check_hits += 1
+            return CheckResult.SAT, Model(quick.model)
+
+        return self._solve_assumptions([self._literal(term) for term in terms])
+
+    def _solve_assumptions(self, literals: List[int]) -> Tuple[str, Optional[Model]]:
+        """Run one CDCL search under ``literals``, with the work bookkeeping.
+
+        The shared tail of the plain and optimized paths; ``solve_seconds``
+        is deliberately the caller's concern (the optimized path times the
+        whole cache interaction instead).
+        """
         self._feed_clauses()
         conflicts_before = self._sat.conflicts
         decisions_before = self._sat.decisions
+        self.statistics.sat_core_calls += 1
         outcome = self._sat.solve(assumptions=literals, max_conflicts=self._max_conflicts)
         self.statistics.sat_conflicts += self._sat.conflicts - conflicts_before
         self.statistics.sat_decisions += self._sat.decisions - decisions_before
         self.statistics.learned_clauses = self._sat.learned_clause_count
-        self.statistics.solve_seconds += time.perf_counter() - solve_started
-
         if outcome == SatResult.SAT:
-            self._model = model_from_bits(
+            return CheckResult.SAT, model_from_bits(
                 self._blaster.variable_bits(),
                 self._blaster.boolean_variables(),
                 self._sat.model(),
             )
-            return self._finish(CheckResult.SAT)
         if outcome == SatResult.UNSAT:
-            return self._finish(CheckResult.UNSAT)
-        return self._finish(CheckResult.UNKNOWN)
+            return CheckResult.UNSAT, None
+        return CheckResult.UNKNOWN, None
 
     # ``check`` is an alias so the context can stand in for the scratch facade.
     check = check_assumptions
@@ -238,11 +331,19 @@ class AssumptionChecker:
     #: reused, so entries for collected terms can never be hit again.
     MEMO_LIMIT = 100_000
 
-    def __init__(self, max_conflicts: Optional[int] = 200_000) -> None:
-        self.context = SolverContext(max_conflicts=max_conflicts)
+    def __init__(
+        self,
+        max_conflicts: Optional[int] = 200_000,
+        query_cache: Optional[QueryCache] = None,
+    ) -> None:
+        """``query_cache`` (shared freely between checkers) slices every
+        query and reuses verdicts/models/cores across them; without one
+        the checker keeps the prefix-alignment path."""
+        self.context = SolverContext(max_conflicts=max_conflicts, query_cache=query_cache)
+        self.query_cache = query_cache
         self._stack: List[Term] = []
         # Verdicts only — models are not pinned here; a SAT repeat that
-        # needs one re-solves on the warm context instead.
+        # needs one re-solves on the warm context (or its cache) instead.
         self._memo: Dict[frozenset, str] = {}
         self.memo_hits = 0
         self.checks = 0
@@ -288,8 +389,14 @@ class AssumptionChecker:
         if cached is not None and not (need_model and cached == CheckResult.SAT):
             self.memo_hits += 1
             return cached, None
-        self.align(constraints)
-        status = self.context.check_assumptions(*extra)
+        if self.query_cache is not None:
+            # Slicing subsumes prefix alignment: unchanged slices hit the
+            # cache whatever the constraint order, so everything travels
+            # as per-call assumptions and the scope stack stays empty.
+            status = self.context.check_assumptions(*constraints, *extra)
+        else:
+            self.align(constraints)
+            status = self.context.check_assumptions(*extra)
         model = self.context.model() if need_model and status == CheckResult.SAT else None
         if len(self._memo) >= self.MEMO_LIMIT:
             self._memo.clear()

@@ -3,7 +3,7 @@
 This is the decision backend of the bitvector solver: conflict-driven
 clause learning with two-watched-literal propagation, VSIDS-style
 activity-based branching, first-UIP conflict analysis, non-chronological
-backjumping, phase saving, and geometric restarts.
+backjumping, phase saving, and Luby-sequence restarts.
 
 The implementation favours clarity over raw speed — the formulas produced
 by bit-blasting dataplane constraints are small (thousands of variables),
@@ -17,6 +17,27 @@ from typing import Iterable, List, Optional, Sequence
 UNASSIGNED = 0
 TRUE = 1
 FALSE = -1
+
+#: Conflicts allowed before the first restart; later restarts scale this
+#: by the Luby sequence.
+RESTART_BASE = 64
+
+
+def luby(index: int) -> int:
+    """The 1-based Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, ...
+
+    Restart limits scaled by this sequence are a well-known universal
+    strategy: within a constant factor of the optimal restart schedule
+    for any (unknown) runtime distribution, unlike a geometric schedule
+    which commits to one growth rate.
+    """
+    if index < 1:
+        raise ValueError("luby() is defined for 1-based indices")
+    while True:
+        size = 1 << index.bit_length()
+        if index == size - 1:
+            return size >> 1
+        index = index - (size >> 1) + 1
 
 
 class SatResult:
@@ -51,6 +72,7 @@ class SATSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
         self._ensure_vars(num_vars)
 
     # -- public API -------------------------------------------------------------------
@@ -131,7 +153,8 @@ class SATSolver:
             self._ok = False
             return SatResult.UNSAT
 
-        restart_limit = 64
+        restart_number = 1
+        restart_limit = RESTART_BASE * luby(restart_number)
         conflicts_since_restart = 0
         conflict_budget = None if max_conflicts is None else self.conflicts + max_conflicts
         assumptions = list(assumptions)
@@ -153,7 +176,9 @@ class SATSolver:
                     return SatResult.UNKNOWN
                 if conflicts_since_restart >= restart_limit:
                     conflicts_since_restart = 0
-                    restart_limit = int(restart_limit * 1.5)
+                    restart_number += 1
+                    restart_limit = RESTART_BASE * luby(restart_number)
+                    self.restarts += 1
                     self._backtrack(0)
                 continue
 

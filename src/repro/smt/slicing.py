@@ -1,0 +1,148 @@
+"""Constraint independence slicing: split a conjunction into variable-disjoint parts.
+
+A path constraint produced by the symbolic executor is a conjunction of
+many small facts, most of which talk about different packet bytes.  Two
+conjuncts interact only if they share a free variable, so the conjunct
+set splits into **connected components** over the shared-variable
+relation — the *slices*.  A slice can be decided independently: the whole
+conjunction is satisfiable iff every slice is (models over disjoint
+variables compose by union), and a single unsatisfiable slice refutes
+the whole query.
+
+Slicing is what makes the query cache (:mod:`repro.smt.qcache`)
+effective: when a new branch condition touches two packet bytes, only the
+slice containing those bytes changes — every other slice is the same
+term set the previous hundred queries carried, and its verdict is an
+O(1) exact-key cache hit instead of a SAT call.
+
+Free-variable sets are memoized by interned-term ``uid`` (computed
+bottom-up over the DAG, so a term is walked once per process, not once
+per query), and the partition itself is a union-find over variable
+names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from .terms import Term, intern_term
+
+#: Free-variable sets keyed by term uid.  Uids are never reused, so stale
+#: entries can never be *wrong* — only dead.  The table is dropped
+#: wholesale past the limit, like the feasibility memo.
+_FREE_VARS_MEMO: Dict[int, FrozenSet[str]] = {}
+_MEMO_LIMIT = 500_000
+
+
+def free_variable_names(term: Term) -> FrozenSet[str]:
+    """The set of free variable names of ``term``, memoized by interned uid."""
+    term = intern_term(term)
+    cached = _FREE_VARS_MEMO.get(term.uid)
+    if cached is not None:
+        return cached
+    if len(_FREE_VARS_MEMO) >= _MEMO_LIMIT:
+        _FREE_VARS_MEMO.clear()
+    # Iterative post-order so arbitrarily deep terms (byte-select chains)
+    # neither recurse nor re-walk subterms another query already visited.
+    stack: List[Tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node.uid in _FREE_VARS_MEMO:
+            continue
+        if node.is_var():
+            assert node.name is not None
+            _FREE_VARS_MEMO[node.uid] = frozenset((node.name,))
+        elif not node.args:
+            _FREE_VARS_MEMO[node.uid] = frozenset()
+        elif expanded:
+            _FREE_VARS_MEMO[node.uid] = frozenset().union(
+                *(_FREE_VARS_MEMO[arg.uid] for arg in node.args)
+            )
+        else:
+            stack.append((node, True))
+            for arg in node.args:
+                if arg.uid not in _FREE_VARS_MEMO:
+                    stack.append((arg, False))
+    return _FREE_VARS_MEMO[term.uid]
+
+
+@dataclass(frozen=True)
+class Slice:
+    """One variable-connected component of a constraint set.
+
+    ``key`` — the sorted tuple of the slice's interned term uids — is the
+    canonical in-process identity the query cache keys on: two queries
+    assemble the same slice iff they carry the same term set, however
+    the terms were ordered or duplicated.
+    """
+
+    terms: Tuple[Term, ...]
+    variables: FrozenSet[str]
+    key: Tuple[int, ...]
+
+
+def _make_slice(terms: Sequence[Term]) -> Slice:
+    variables: FrozenSet[str] = frozenset().union(
+        *(free_variable_names(term) for term in terms)
+    )
+    return Slice(
+        terms=tuple(terms),
+        variables=variables,
+        key=tuple(sorted(term.uid for term in terms)),
+    )
+
+
+def partition(terms: Sequence[Term]) -> List[Slice]:
+    """Split ``terms`` into slices connected by shared free variables.
+
+    Deterministic: slices come back ordered by the first appearance of
+    one of their terms, each slice's terms in input order (no dependence
+    on set-iteration order, so runs agree across hash seeds).  Ground
+    terms (no free variables) each form their own singleton slice —
+    after simplification they are rare, but a constant-valued conjunct
+    must still be decided, not dropped.
+    """
+    if not terms:
+        return []
+    parent: Dict[str, str] = {}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:  # path compression
+            parent[name], name = root, parent[name]
+        return root
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    term_vars: List[List[str]] = []
+    for term in terms:
+        names = sorted(free_variable_names(term))
+        term_vars.append(names)
+        for name in names:
+            parent.setdefault(name, name)
+        for name in names[1:]:
+            union(names[0], name)
+
+    # Group terms by the component of their first variable, in input order.
+    groups: Dict[str, List[Term]] = {}
+    order: List[Tuple[str, bool]] = []  # (group key, is_ground) in first-appearance order
+    ground_count = 0
+    for term, names in zip(terms, term_vars):
+        if not names:
+            key = f"\x00ground{ground_count}"  # never a variable name
+            ground_count += 1
+            groups[key] = [term]
+            order.append((key, True))
+            continue
+        root = find(names[0])
+        if root not in groups:
+            groups[root] = []
+            order.append((root, False))
+        groups[root].append(term)
+    return [_make_slice(groups[key]) for key, _ground in order]

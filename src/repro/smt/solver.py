@@ -7,16 +7,20 @@ scoping), and decides satisfiability by:
 2. trying the unsigned-interval quick check, and
 3. falling back to bit-blasting plus CDCL SAT.
 
-Query results are cached by the simplified constraint's s-expression, which
-matters for Step 2 of the verifier where many composed paths reduce to the
-same residual constraint.
+Query results are cached by the simplified constraint's hash-consed term
+uid — structurally identical queries share one interned term, so the
+lookup is an O(1) integer-keyed dict hit with no rendering on the hot
+path.  This matters for Step 2 of the verifier where many composed paths
+reduce to the same residual constraint.  A :class:`~repro.smt.qcache.
+QueryCache` can additionally be attached to slice each query into
+variable-independent parts and reuse per-slice verdicts across queries.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from .bitblast import BitBlaster
 from .builder import And
@@ -25,7 +29,11 @@ from .interval import QuickCheckResult, quick_check
 from .model import Model, model_from_bits
 from .sat import SATSolver, SatResult
 from .simplify import simplify
-from .terms import TRUE, Term
+from .terms import TRUE, Op, Term, mk_and
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (qcache imports nothing here,
+    # but the annotation-only import keeps the layering one-directional)
+    from .qcache import QueryCache
 
 
 class CheckResult:
@@ -46,6 +54,11 @@ class SolverStatistics:
     unknown: int = 0
     quick_check_hits: int = 0
     cache_hits: int = 0
+    #: Times the CDCL core actually ran a search (quick-check and cache
+    #: answers excluded) — the denominator of the query-optimization win.
+    sat_core_calls: int = 0
+    #: Slice questions the attached QueryCache answered without solving.
+    qcache_hits: int = 0
     sat_conflicts: int = 0
     sat_decisions: int = 0
     total_time: float = 0.0
@@ -58,6 +71,8 @@ class SolverStatistics:
             "unknown": self.unknown,
             "quick_check_hits": self.quick_check_hits,
             "cache_hits": self.cache_hits,
+            "sat_core_calls": self.sat_core_calls,
+            "qcache_hits": self.qcache_hits,
             "sat_conflicts": self.sat_conflicts,
             "sat_decisions": self.sat_decisions,
             "total_time": self.total_time,
@@ -68,6 +83,10 @@ class SolverStatistics:
 class _CachedAnswer:
     status: str
     model: Optional[Model] = None
+    #: The goal term itself.  The intern table is weak, so the entry must
+    #: pin the term: a structurally identical future goal then reinterns
+    #: to this instance (same uid) and the uid-keyed lookup hits.
+    goal: Optional[Term] = None
 
 
 class Solver:
@@ -81,13 +100,21 @@ class Solver:
     checks instead of rebuilding per query.
     """
 
-    def __init__(self, max_conflicts: Optional[int] = 200_000, enable_cache: bool = True) -> None:
+    def __init__(
+        self,
+        max_conflicts: Optional[int] = 200_000,
+        enable_cache: bool = True,
+        query_cache: Optional["QueryCache"] = None,
+    ) -> None:
         self._assertions: List[Term] = []
         self._scopes: List[int] = []
         self._model: Optional[Model] = None
         self._max_conflicts = max_conflicts
         self._enable_cache = enable_cache
-        self._cache: Dict[str, _CachedAnswer] = {}
+        # Keyed by the simplified goal's interned uid: uids are never
+        # reused, so a key can go stale (unreachable) but never collide.
+        self._cache: Dict[int, _CachedAnswer] = {}
+        self._query_cache = query_cache
         self.statistics = SolverStatistics()
 
     # -- assertion management ------------------------------------------------------
@@ -128,7 +155,7 @@ class Solver:
         self._model = None
 
         goal = simplify(And(*(self._assertions + list(extra)))) if (self._assertions or extra) else TRUE
-        key = goal.to_sexpr(max_depth=10_000)
+        key = goal.uid
 
         if self._enable_cache:
             cached = self._cache.get(key)
@@ -139,10 +166,16 @@ class Solver:
                 self.statistics.total_time += time.perf_counter() - started
                 return cached.status
 
-        status, model = self._decide(goal)
+        if self._query_cache is not None and not goal.is_true() and not goal.is_false():
+            conjuncts = list(goal.args) if goal.op == Op.AND else [goal]
+            hits_before = self._query_cache.statistics.hits
+            status, model = self._query_cache.check(conjuncts, self._decide_slice)
+            self.statistics.qcache_hits += self._query_cache.statistics.hits - hits_before
+        else:
+            status, model = self._decide(goal)
         self._model = model
         if self._enable_cache:
-            self._cache[key] = _CachedAnswer(status, model)
+            self._cache[key] = _CachedAnswer(status, model, goal)
         self._count(status)
         self.statistics.total_time += time.perf_counter() - started
         return status
@@ -171,6 +204,10 @@ class Solver:
         else:
             self.statistics.unknown += 1
 
+    def _decide_slice(self, terms) -> tuple[str, Optional[Model]]:
+        """Per-slice decision callback for the attached query cache."""
+        return self._decide(terms[0] if len(terms) == 1 else mk_and(*terms))
+
     def _decide(self, goal: Term) -> tuple[str, Optional[Model]]:
         if goal.is_true():
             return CheckResult.SAT, Model({})
@@ -191,6 +228,7 @@ class Solver:
         for clause in blaster.cnf.clauses:
             if not sat_solver.add_clause(clause):
                 return CheckResult.UNSAT, None
+        self.statistics.sat_core_calls += 1
         outcome = sat_solver.solve(max_conflicts=self._max_conflicts)
         self.statistics.sat_conflicts += sat_solver.conflicts
         self.statistics.sat_decisions += sat_solver.decisions

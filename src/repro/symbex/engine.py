@@ -84,23 +84,45 @@ class SymbexOptions:
     #: (``False``) re-solves every query from nothing and is kept for
     #: differential testing.
     incremental: bool = True
+    #: Route feasibility queries through the query-optimization layer:
+    #: independence slicing plus the tiered verdict/model/unsat-core cache
+    #: (:mod:`repro.smt.qcache`).  ``False`` keeps the plain incremental
+    #: path for differential testing and benchmarking.
+    query_opt: bool = True
+    #: Directory of the persistent L3 query-cache tier (``None`` keeps the
+    #: in-memory tiers only).  Excluded from summary/verdict store keys:
+    #: the cache changes how queries are answered, never what they answer.
+    query_cache_dir: Optional[str] = None
 
 
 class SymbolicEngine:
     """Symbolically executes one element program on a symbolic packet."""
 
-    def __init__(self, options: Optional[SymbexOptions] = None, solver: Optional[smt.Solver] = None) -> None:
+    def __init__(
+        self,
+        options: Optional[SymbexOptions] = None,
+        solver: Optional[smt.Solver] = None,
+        query_cache: Optional[smt.QueryCache] = None,
+    ) -> None:
+        """``query_cache`` shares one slicing/verdict cache across engines
+        (the :class:`repro.verify.cache.SummaryCache` passes its own);
+        standalone engines build one from the options."""
         self.options = options or SymbexOptions()
         self.solver = solver if solver is not None else smt.Solver(
             max_conflicts=self.options.solver_max_conflicts
         )
         # Injecting an explicit scratch solver opts out of incremental mode:
         # callers doing so want every query to go through that instance.
-        self.checker: Optional[smt.AssumptionChecker] = (
-            smt.AssumptionChecker(max_conflicts=self.options.solver_max_conflicts)
-            if self.options.incremental and solver is None
-            else None
-        )
+        if self.options.incremental and solver is None:
+            if query_cache is None:
+                query_cache = smt.build_query_cache(
+                    self.options.query_opt, self.options.query_cache_dir
+                )
+            self.checker: Optional[smt.AssumptionChecker] = smt.AssumptionChecker(
+                max_conflicts=self.options.solver_max_conflicts, query_cache=query_cache
+            )
+        else:
+            self.checker = None
         self.solver_checks = 0
         self._havoc_counter = 0
         self._deadline: Optional[float] = None
@@ -151,6 +173,13 @@ class SymbolicEngine:
     ) -> ElementSummary:
         """Step-1 primitive: symbex an element on a fresh symbolic packet and summarise it."""
         started = time.perf_counter()
+        query_cache = self.checker.query_cache if self.checker is not None else None
+        qcache_hits_before = query_cache.statistics.hits if query_cache is not None else 0
+        sat_core_before = (
+            self.checker.statistics.sat_core_calls
+            if self.checker is not None
+            else self.solver.statistics.sat_core_calls
+        )
         name = element_name or program.name
         packet = SymbolicPacket.fresh(input_length)
         states = self.execute_program(program, packet, tables=tables, element_name=name)
@@ -165,6 +194,16 @@ class SymbolicEngine:
         summary.solver_checks = self.solver_checks
         summary.incremental = self.checker is not None
         summary.feasibility_memo_hits = self.checker.memo_hits if self.checker else 0
+        summary.sat_core_calls = (
+            self.checker.statistics.sat_core_calls
+            if self.checker is not None
+            else self.solver.statistics.sat_core_calls
+        ) - sat_core_before
+        summary.qcache_hits = (
+            query_cache.statistics.hits - qcache_hits_before
+            if query_cache is not None
+            else 0
+        )
         summary.elapsed_seconds = time.perf_counter() - started
         return summary
 

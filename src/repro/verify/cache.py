@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from .. import smt
 from ..dataplane.element import Element
 from ..dataplane.fingerprint import configuration_fingerprint
 from ..symbex.engine import StaticTableMode, SymbexOptions, SymbolicEngine
@@ -55,12 +56,24 @@ class SummaryCache:
         self,
         options: Optional[SymbexOptions] = None,
         store: Optional[object] = None,
+        query_cache: Optional[smt.QueryCache] = None,
     ) -> None:
         self.options = options or SymbexOptions()
         #: Optional L2 tier: any object with ``load(element, length, mode)``
         #: and ``save(element, length, mode, summary)`` — in practice a
         #: :class:`repro.orchestrator.store.SummaryStore`.
         self.store = store
+        #: The query-optimization cache shared by every engine this cache
+        #: spawns (and by the composition engine attached to it), so slice
+        #: verdicts cross element and pipeline boundaries within a run.
+        self.query_cache = (
+            query_cache
+            if query_cache is not None
+            else smt.build_query_cache(
+                self.options.incremental and self.options.query_opt,
+                self.options.query_cache_dir,
+            )
+        )
         self._summaries: Dict[Tuple[str, int, str], ElementSummary] = {}
         self.statistics = CacheStatistics()
 
@@ -90,7 +103,7 @@ class SummaryCache:
                 return stored
         self.statistics.misses += 1
         started = time.perf_counter()
-        engine = SymbolicEngine(self.options)
+        engine = SymbolicEngine(self.options, query_cache=self.query_cache)
         summary = engine.summarize_element(
             element.program,
             input_length,

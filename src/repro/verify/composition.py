@@ -99,8 +99,13 @@ class CompositionEngine:
         self.solver = solver if solver is not None else smt.Solver()
         if incremental is None:
             incremental = cache.options.incremental and solver is None
+        # The query cache is shared with the summary cache's engines, so
+        # Step-2 composition reuses slice verdicts Step 1 already paid for.
         self.checker: Optional[smt.AssumptionChecker] = (
-            smt.AssumptionChecker(max_conflicts=cache.options.solver_max_conflicts)
+            smt.AssumptionChecker(
+                max_conflicts=cache.options.solver_max_conflicts,
+                query_cache=cache.query_cache,
+            )
             if incremental
             else None
         )

@@ -161,6 +161,15 @@ class PipelineVerifier:
 
     # -- main verification entry point --------------------------------------------------------------
 
+    def _composer_work(self) -> Tuple[int, int, int]:
+        """Snapshot of the composition engine's (sat-core calls, query-cache
+        hits, slices solved) — cumulative, so callers take deltas."""
+        if self.composer.checker is not None:
+            stats = self.composer.checker.statistics
+            return stats.sat_core_calls, stats.qcache_hits, stats.slices_solved
+        stats = self.composer.solver.statistics
+        return stats.sat_core_calls, stats.qcache_hits, 0
+
     def verify(
         self,
         target_property: Property,
@@ -183,6 +192,7 @@ class PipelineVerifier:
         # element position — so statistics for a given summary object must be
         # merged exactly once, or the reported work inflates with every revisit.
         counted_summaries: Set[int] = set()
+        core_before, qcache_before, slices_before = self._composer_work()
 
         try:
             for input_length in input_lengths:
@@ -200,6 +210,13 @@ class PipelineVerifier:
                             incremental=summary.incremental,
                             memo_hits=summary.feasibility_memo_hits,
                         )
+                        if not summary.work_counters_reported:
+                            # Once per process, not per property/pipeline:
+                            # the CDCL searches happened once, and fleet
+                            # reports sum these per-result counters.
+                            summary.work_counters_reported = True
+                            statistics.sat_core_calls += summary.sat_core_calls
+                            statistics.qcache_hits += summary.qcache_hits
                     for segment in summary.segments:
                         if target_property.is_suspect(element.name, segment):
                             suspects.append((element, length, segment))
@@ -246,6 +263,10 @@ class PipelineVerifier:
             incremental=self.composer.checker is not None,
             memo_hits=self.composer.checker.memo_hits if self.composer.checker else 0,
         )
+        core_after, qcache_after, slices_after = self._composer_work()
+        statistics.sat_core_calls += core_after - core_before
+        statistics.qcache_hits += qcache_after - qcache_before
+        statistics.slices_solved += slices_after - slices_before
         statistics.summary_cache_hits = self.cache.statistics.hits
         statistics.elapsed_seconds = time.perf_counter() - started
         return VerificationResult(
@@ -277,6 +298,7 @@ class PipelineVerifier:
         """
         started = time.perf_counter()
         statistics = VerificationStatistics()
+        core_before, qcache_before, slices_before = self._composer_work()
         best_total = 0
         best_chain: Optional[List[Tuple[Element, SegmentSummary]]] = None
         best_length = 0
@@ -305,6 +327,10 @@ class PipelineVerifier:
             incremental=self.composer.checker is not None,
             memo_hits=self.composer.checker.memo_hits if self.composer.checker else 0,
         )
+        core_after, qcache_after, slices_after = self._composer_work()
+        statistics.sat_core_calls += core_after - core_before
+        statistics.qcache_hits += qcache_after - qcache_before
+        statistics.slices_solved += slices_after - slices_before
         statistics.summary_cache_hits = self.cache.statistics.hits
         statistics.elapsed_seconds = time.perf_counter() - started
         return InstructionBoundResult(

@@ -89,6 +89,15 @@ class VerificationStatistics:
     incremental_solver_checks: int = 0
     scratch_solver_checks: int = 0
     feasibility_memo_hits: int = 0
+    #: Times the CDCL core actually searched during this run (slice-level;
+    #: quick-check and query-cache answers excluded).  0 on a warm run
+    #: backed by the persistent L3 query cache.
+    sat_core_calls: int = 0
+    #: Slice questions the query-optimization layer answered from its
+    #: tiers (exact, unsat-core subset, SAT superset, model reuse, L3).
+    qcache_hits: int = 0
+    #: Slice sub-queries that reached a solving core at all.
+    slices_solved: int = 0
     summary_cache_hits: int = 0
     elapsed_seconds: float = 0.0
     per_element_segments: Dict[str, int] = field(default_factory=dict)
@@ -121,6 +130,9 @@ class VerificationStatistics:
             "incremental_solver_checks": self.incremental_solver_checks,
             "scratch_solver_checks": self.scratch_solver_checks,
             "feasibility_memo_hits": self.feasibility_memo_hits,
+            "sat_core_calls": self.sat_core_calls,
+            "qcache_hits": self.qcache_hits,
+            "slices_solved": self.slices_solved,
             "summary_cache_hits": self.summary_cache_hits,
             "elapsed_seconds": self.elapsed_seconds,
             "per_element_segments": dict(self.per_element_segments),
@@ -141,6 +153,9 @@ class VerificationStatistics:
             "incremental_solver_checks",
             "scratch_solver_checks",
             "feasibility_memo_hits",
+            "sat_core_calls",
+            "qcache_hits",
+            "slices_solved",
             "summary_cache_hits",
             "elapsed_seconds",
             "budget_exceeded",
@@ -186,6 +201,9 @@ class VerificationResult:
             f"({self.statistics.incremental_solver_checks} incremental / "
             f"{self.statistics.scratch_solver_checks} scratch, "
             f"{self.statistics.feasibility_memo_hits} memo hits)",
+            f"sat core   : {self.statistics.sat_core_calls} calls "
+            f"({self.statistics.qcache_hits} query-cache hits, "
+            f"{self.statistics.slices_solved} slices solved)",
             f"time       : {self.statistics.elapsed_seconds:.2f}s",
         ]
         for counterexample in self.counterexamples[:5]:

@@ -1,0 +1,414 @@
+"""Tests for the query-optimization layer: slicing, the tiered query cache,
+its persistent L3 store, and the fleet-level wiring."""
+
+import random
+
+import pytest
+
+from repro import smt
+from repro.smt import (
+    And,
+    BitVec,
+    BitVecVal,
+    Bool,
+    CheckResult,
+    Eq,
+    Not,
+    QueryCache,
+    Solver,
+    SolverContext,
+    UGT,
+    ULT,
+    free_variable_names,
+    partition,
+    slice_fingerprint,
+    term_digest,
+)
+from repro.smt.context import AssumptionChecker
+from repro.smt.qcache import SAT, UNSAT
+
+
+def _solved(cache):
+    return cache.statistics.solved
+
+
+class TestSlicing:
+    def test_free_variables_memoized(self):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        term = And(ULT(x, 10), Eq(y, BitVecVal(3, 8)))
+        assert free_variable_names(term) == frozenset({"x", "y"})
+        assert free_variable_names(term) == frozenset({"x", "y"})  # memo path
+        assert free_variable_names(ULT(x, 10)) == frozenset({"x"})
+
+    def test_independent_variables_split(self):
+        x, y, z = BitVec("x", 8), BitVec("y", 8), BitVec("z", 8)
+        slices = partition([ULT(x, 10), ULT(y, 10), ULT(z, 10)])
+        assert len(slices) == 3
+        assert [s.variables for s in slices] == [
+            frozenset({"x"}),
+            frozenset({"y"}),
+            frozenset({"z"}),
+        ]
+
+    def test_shared_variable_merges(self):
+        x, y, z = BitVec("x", 8), BitVec("y", 8), BitVec("z", 8)
+        slices = partition([ULT(x, 10), Eq(x, y), ULT(z, 5)])
+        assert len(slices) == 2
+        assert slices[0].variables == frozenset({"x", "y"})
+        assert slices[1].variables == frozenset({"z"})
+
+    def test_transitive_sharing_merges_across_terms(self):
+        a, b, c = BitVec("a", 8), BitVec("b", 8), BitVec("c", 8)
+        # a~b and b~c: all three in one component even though a,c never co-occur.
+        slices = partition([Eq(a, b), Eq(b, c)])
+        assert len(slices) == 1
+        assert slices[0].variables == frozenset({"a", "b", "c"})
+
+    def test_key_is_order_independent(self):
+        x = BitVec("x", 8)
+        a, b = ULT(x, 10), UGT(x, 3)
+        assert partition([a, b])[0].key == partition([b, a])[0].key
+
+    def test_ground_terms_get_singleton_slices(self):
+        x = BitVec("x", 8)
+        ground = Eq(BitVecVal(1, 8), BitVecVal(1, 8))
+        slices = partition([smt.intern_term(ground), ULT(x, 10)])
+        assert len(slices) == 2
+
+
+class TestStructuralDigests:
+    def test_digest_is_structural(self):
+        x = BitVec("x", 8)
+        assert term_digest(ULT(x, 10)) == term_digest(ULT(BitVec("x", 8), BitVecVal(10, 8)))
+        assert term_digest(ULT(x, 10)) != term_digest(ULT(x, 11))
+        assert term_digest(ULT(x, 10)) != term_digest(ULT(BitVec("y", 8), 10))
+
+    def test_fingerprint_order_independent(self):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        a, b = ULT(x, 10), UGT(y, 3)
+        assert slice_fingerprint([a, b]) == slice_fingerprint([b, a])
+        assert slice_fingerprint([a]) != slice_fingerprint([a, b])
+
+
+class TestQueryCacheTiers:
+    def test_exact_hit_skips_solving(self):
+        x = BitVec("x", 8)
+        cache = QueryCache()
+        checker = AssumptionChecker(query_cache=cache)
+        constraints = [ULT(x, 10), UGT(x, 3)]
+        status, model = checker.check(constraints, need_model=True)
+        assert status == CheckResult.SAT and model is not None
+        solved = _solved(cache)
+        # Same slice again, reassembled in a different order.
+        status, model = checker.check(list(reversed(constraints)), need_model=True)
+        assert status == CheckResult.SAT and model is not None
+        assert _solved(cache) == solved
+        assert cache.statistics.exact_hits >= 1
+
+    def test_unsat_core_subset_shortcut(self):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        cache = QueryCache()
+        checker = AssumptionChecker(query_cache=cache)
+        assert checker.check([ULT(x, 3), UGT(x, 10)])[0] == CheckResult.UNSAT
+        solved = _solved(cache)
+        # A superset query containing the known-unsat pair (y makes x and y
+        # one slice through Eq) is refuted by the recorded core alone.
+        status, _ = checker.check([ULT(x, 3), UGT(x, 10), Eq(x, y)])
+        assert status == CheckResult.UNSAT
+        assert _solved(cache) == solved
+        assert cache.statistics.unsat_core_hits >= 1
+
+    def test_superset_sat_shortcut(self):
+        x = BitVec("x", 8)
+        cache = QueryCache()
+        checker = AssumptionChecker(query_cache=cache)
+        assert checker.check([UGT(x, 3), ULT(x, 10), Not(Eq(x, BitVecVal(5, 8)))])[0] == CheckResult.SAT
+        solved = _solved(cache)
+        # A subset of a satisfied term set is satisfied by the same model.
+        status, model = checker.check([UGT(x, 3), ULT(x, 10)], need_model=True)
+        assert status == CheckResult.SAT
+        assert model is not None and 3 < int(model["x"]) < 10 and int(model["x"]) != 5
+        assert _solved(cache) == solved
+        assert cache.statistics.superset_sat_hits >= 1
+
+    def test_shortcut_verdicts_match_scratch(self):
+        """Random growing/shrinking uid-overlapping queries: every cache
+        answer equals a from-scratch solve of the same conjunction."""
+        rng = random.Random(13)
+        x, y, z = BitVec("x", 8), BitVec("y", 8), BitVec("z", 8)
+        atoms = [
+            ULT(x, 200), UGT(x, 100), Not(Eq(x, BitVecVal(150, 8))),
+            ULT(y, 5), UGT(y, 9),  # contradictory pair
+            Eq(z, BitVecVal(0, 8)), ULT(z, 4),
+            Eq(x, y),
+        ]
+        cache = QueryCache()
+        checker = AssumptionChecker(query_cache=cache)
+        for _round in range(60):
+            query = rng.sample(atoms, rng.randrange(1, len(atoms) + 1))
+            status, model = checker.check(query, need_model=True)
+            scratch = Solver(enable_cache=False)
+            scratch.add(*query)
+            assert status == scratch.check()
+            if status == CheckResult.SAT:
+                assert model is not None and model.satisfies(And(*query))
+        assert cache.statistics.hits > 0
+
+    def test_boolean_variables_supported(self):
+        a, b = Bool("a"), Bool("b")
+        cache = QueryCache()
+        checker = AssumptionChecker(query_cache=cache)
+        status, model = checker.check([smt.Or(a, b), Not(a)], need_model=True)
+        assert status == CheckResult.SAT
+        assert model is not None and model.satisfies(b) and not model.satisfies(a)
+        assert checker.check([a, Not(a)])[0] == CheckResult.UNSAT
+
+    def test_composed_model_covers_all_slices(self):
+        x, y, z = BitVec("x", 16), BitVec("y", 16), BitVec("z", 8)
+        cache = QueryCache()
+        checker = AssumptionChecker(query_cache=cache)
+        constraints = [Eq(x + y, BitVecVal(500, 16)), UGT(x, 100), Eq(z, BitVecVal(7, 8))]
+        status, model = checker.check(constraints, need_model=True)
+        assert status == CheckResult.SAT
+        assert model is not None
+        for term in constraints:
+            assert model.satisfies(term)
+
+
+class TestQueryStoreL3:
+    def _queries(self, checker):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        sat_query = [ULT(x, 10), UGT(x, 3), Eq(y, BitVecVal(1, 8))]
+        unsat_query = [ULT(x, 3), UGT(x, 10)]
+        return (
+            checker.check(sat_query, need_model=True),
+            checker.check(unsat_query),
+        )
+
+    def test_warm_cache_answers_from_disk_without_solving(self, tmp_path):
+        from repro.orchestrator.store import QueryStore
+
+        cold_cache = QueryCache(store=QueryStore(tmp_path))
+        (status, model), (unsat_status, _) = self._queries(
+            AssumptionChecker(query_cache=cold_cache)
+        )
+        assert status == CheckResult.SAT and unsat_status == CheckResult.UNSAT
+        assert cold_cache.statistics.l3_stores > 0
+
+        warm_store = QueryStore(tmp_path)
+        warm_cache = QueryCache(store=warm_store)
+        (warm_sat, warm_model), (warm_unsat, _) = self._queries(
+            AssumptionChecker(query_cache=warm_cache)
+        )
+        assert (warm_sat, warm_unsat) == (status, unsat_status)
+        assert warm_model is not None
+        assert _solved(warm_cache) == 0  # everything from disk
+        assert warm_cache.statistics.l3_hits > 0
+        # ... and write-free: re-derived answers are not re-persisted.
+        assert warm_cache.statistics.l3_stores == 0
+        assert warm_store.statistics.puts == 0
+
+    def test_readonly_cache_ships_entries_for_merge(self, tmp_path):
+        from repro.orchestrator.store import QueryStore
+
+        store = QueryStore(tmp_path)
+        worker_cache = QueryCache(store=store, readonly=True)
+        self._queries(AssumptionChecker(query_cache=worker_cache))
+        assert len(store) == 0  # nothing written by the read-only side
+        assert worker_cache.new_entries
+        from repro.orchestrator.workers import merge_query_entries
+
+        merge_query_entries(str(tmp_path), worker_cache.new_entries)
+        assert len(store) > 0
+        # A fresh cache over the merged store answers without solving.
+        merged = QueryCache(store=QueryStore(tmp_path))
+        self._queries(AssumptionChecker(query_cache=merged))
+        assert _solved(merged) == 0
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        from repro.orchestrator.store import QueryStore
+
+        store = QueryStore(tmp_path)
+        cache = QueryCache(store=store)
+        checker = AssumptionChecker(query_cache=cache)
+        x = BitVec("x", 8)
+        checker.check([Eq(smt.UDiv(x, BitVecVal(3, 8)), BitVecVal(5, 8))])
+        for path in tmp_path.glob("??/*.json"):
+            path.write_text("{ not json")
+        warm = QueryCache(store=QueryStore(tmp_path))
+        status, _ = AssumptionChecker(query_cache=warm).check(
+            [Eq(smt.UDiv(x, BitVecVal(3, 8)), BitVecVal(5, 8))]
+        )
+        assert status == CheckResult.SAT  # re-solved, not crashed
+        assert warm.statistics.l3_hits == 0
+
+
+class TestSolverContextRouting:
+    def test_context_with_cache_agrees_with_plain_context(self):
+        rng = random.Random(23)
+        x, y = BitVec("x", 8), BitVec("y", 8)
+
+        def formula():
+            ops = [
+                ULT(x, rng.randrange(1, 255)),
+                UGT(y, rng.randrange(0, 254)),
+                Eq(x + y, BitVecVal(rng.randrange(256), 8)),
+                Not(Eq(x, BitVecVal(rng.randrange(256), 8))),
+            ]
+            return rng.choice(ops)
+
+        for _round in range(10):
+            plain = SolverContext()
+            routed = SolverContext(query_cache=QueryCache())
+            for _step in range(6):
+                term = formula()
+                plain.assert_term(term)
+                routed.assert_term(term)
+                assert plain.check_assumptions() == routed.check_assumptions()
+
+    def test_solver_facade_with_query_cache(self):
+        x, y = BitVec("x", 8), BitVec("y", 8)
+        solver = Solver(query_cache=QueryCache())
+        solver.add(ULT(x, 10), UGT(y, 250))
+        assert solver.check() == CheckResult.SAT
+        model = solver.model()
+        assert int(model["x"]) < 10 and int(model["y"]) > 250
+        solver.add(UGT(x, 20))
+        assert solver.check() == CheckResult.UNSAT
+
+    def test_unknown_is_not_cached(self):
+        # A conflict budget of 0 forces UNKNOWN; the cache must not pin it.
+        x, y = BitVec("x", 16), BitVec("y", 16)
+        hard = Eq(x * y, BitVecVal(12_345, 16))
+        cache = QueryCache()
+        starved = SolverContext(max_conflicts=0, query_cache=cache)
+        starved.assert_term(hard, UGT(x, 2), UGT(y, 2))
+        if starved.check_assumptions() == CheckResult.UNKNOWN:
+            roomy = SolverContext(max_conflicts=200_000, query_cache=cache)
+            roomy.assert_term(hard, UGT(x, 2), UGT(y, 2))
+            assert roomy.check_assumptions() in (CheckResult.SAT, CheckResult.UNSAT)
+
+
+class TestEngineAndFleetWiring:
+    def test_engine_differential_query_opt_on_off(self):
+        from repro.symbex.engine import SymbexOptions
+        from repro.workloads import synthetic_pipeline
+        from repro.verify import CrashFreedom
+        from repro.verify.pipeline_verifier import PipelineVerifier
+
+        pipeline = synthetic_pipeline(3, 2, name="diff")
+        on = PipelineVerifier(pipeline, options=SymbexOptions(query_opt=True)).verify(
+            CrashFreedom(), input_lengths=(12,)
+        )
+        off = PipelineVerifier(pipeline, options=SymbexOptions(query_opt=False)).verify(
+            CrashFreedom(), input_lengths=(12,)
+        )
+        assert on.verdict == off.verdict
+        assert on.statistics.sat_core_calls <= off.statistics.sat_core_calls
+
+    def test_warm_fleet_run_makes_zero_sat_core_calls(self, tmp_path):
+        from repro.orchestrator import QueryStore, SummaryStore, certify_fleet
+        from repro.verify import CrashFreedom
+        from repro.workloads import fleet_catalog
+
+        stores = dict(
+            store=SummaryStore(tmp_path / "summaries"),
+            query_store=QueryStore(tmp_path / "queries"),
+        )
+        cold = certify_fleet(fleet_catalog(2), [CrashFreedom()], input_lengths=(24,), **stores)
+        warm = certify_fleet(
+            fleet_catalog(2),
+            [CrashFreedom()],
+            input_lengths=(24,),
+            store=SummaryStore(tmp_path / "summaries"),
+            query_store=QueryStore(tmp_path / "queries"),
+        )
+        assert cold.statistics.sat_core_calls > 0
+        assert warm.statistics.summaries_computed == 0
+        assert warm.statistics.sat_core_calls == 0
+        assert warm.verdicts() == cold.verdicts()
+
+    def test_certify_worker_ships_query_entries(self, tmp_path):
+        """The per-pipeline worker task opens the L3 tier read-only and
+        ships its new entries back (the parent merges them on join)."""
+        import dataclasses
+
+        from repro.orchestrator.fleet import _certify_worker
+        from repro.orchestrator.store import QueryStore
+        from repro.orchestrator.workers import merge_query_entries
+        from repro.symbex.engine import SymbexOptions
+        from repro.verify import CrashFreedom
+        from repro.workloads import fleet_catalog
+
+        options = dataclasses.replace(
+            SymbexOptions(), query_cache_dir=str(tmp_path / "queries")
+        )
+        payload = (
+            fleet_catalog(1)[0], [CrashFreedom()], (24,), options,
+            str(tmp_path / "summaries"), 3, True, False,
+        )
+        certification, _misses, _l2_hits, entries = _certify_worker(payload)
+        assert certification.certified
+        assert entries  # solved slices that could not be written in-fork
+        assert len(QueryStore(tmp_path / "queries")) == 0
+        merge_query_entries(str(tmp_path / "queries"), entries)
+        assert len(QueryStore(tmp_path / "queries")) > 0
+        # A second worker over the merged store solves nothing new.
+        _cert, _m, _l, warm_entries = _certify_worker(payload)
+        assert warm_entries == []
+
+    def test_parallel_summarize_jobs_preserve_work_counters(self):
+        """Worker-computed summaries arrive with their solver-work counters
+        restored (serialization drops them), matching a serial engine."""
+        from repro.orchestrator.workers import COMPUTED, summarize_jobs
+        from repro.symbex.engine import SymbexOptions, SymbolicEngine
+        from repro.workloads import fleet_catalog
+
+        element = fleet_catalog(1)[0].elements[0]
+        options = SymbexOptions()
+        serial = SymbolicEngine(options).summarize_element(
+            element.program, 24,
+            tables=element.state.tables(),
+            element_name=element.name,
+            configuration_key=element.configuration_key(),
+        )
+        [(status, shipped, _detail)] = summarize_jobs([(element, 24)], options, workers=2)
+        assert status == COMPUTED and shipped is not None
+        assert shipped.sat_core_calls == serial.sat_core_calls
+        assert shipped.qcache_hits == serial.qcache_hits
+
+    def test_workers_clamped_to_cpu_count(self):
+        import os
+
+        from repro.orchestrator import certify_fleet
+        from repro.verify import CrashFreedom
+        from repro.workloads import fleet_catalog
+
+        report = certify_fleet(
+            fleet_catalog(2), [CrashFreedom()], input_lengths=(24,), workers=64
+        )
+        assert report.statistics.workers == min(64, os.cpu_count() or 1)
+        assert all(c.certified for c in report.certifications)
+
+    def test_query_store_cli_maintenance(self, tmp_path, capsys):
+        from repro.cli.main import main
+
+        assert main(["store", "stats", "--query-store", str(tmp_path / "q")]) == 0
+        out = capsys.readouterr().out
+        assert "query store" in out
+        assert main(["store", "gc", "--query-store", str(tmp_path / "q")]) == 0
+
+
+@pytest.mark.parametrize("width", [1, 8])
+def test_width_one_and_wider_vectors_through_cache(width):
+    b = BitVec(f"w{width}", width)
+    cache = QueryCache()
+    checker = AssumptionChecker(query_cache=cache)
+    assert checker.check([Eq(b, BitVecVal(1, width))])[0] == CheckResult.SAT
+    assert checker.check([Eq(b, BitVecVal(1, width)), Eq(b, BitVecVal(0, width))])[0] == (
+        CheckResult.UNSAT
+    )
+
+
+def test_status_constants_match_facade():
+    assert (SAT, UNSAT) == (CheckResult.SAT, CheckResult.UNSAT)

@@ -24,10 +24,11 @@ from repro.smt import (
     check_formula,
     evaluate,
 )
+from repro.smt import SLE, SLT
 from repro.smt.cnf import CNFBuilder
 from repro.smt.errors import SolverError
 from repro.smt.interval import QuickCheckResult, quick_check
-from repro.smt.sat import SATSolver, SatResult, solve_clauses
+from repro.smt.sat import SATSolver, SatResult, luby, solve_clauses
 
 
 class TestSATSolver:
@@ -94,6 +95,43 @@ class TestSATSolver:
         assert solver.solve(assumptions=[-1]) == SatResult.SAT
         assert solver.value(2) is True
         assert solver.solve(assumptions=[-1, -2]) == SatResult.UNSAT
+
+    def test_luby_sequence_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+        with pytest.raises(ValueError):
+            luby(0)
+
+    def test_work_counters_track_search(self):
+        """A pigeonhole search hard enough to exceed the Luby restart base
+        must record decisions, conflicts, and at least one actual restart."""
+        pigeons, holes = 6, 5  # ~170 conflicts: past RESTART_BASE=64
+        clauses = []
+        for pigeon in range(pigeons):
+            clauses.append([holes * pigeon + hole + 1 for hole in range(holes)])
+        for hole in range(holes):
+            for a in range(pigeons):
+                for b in range(a + 1, pigeons):
+                    clauses.append([-(holes * a + hole + 1), -(holes * b + hole + 1)])
+        solver = SATSolver(pigeons * holes)
+        solver.add_clauses(clauses)
+        assert solver.solve() == SatResult.UNSAT
+        assert solver.conflicts > 64
+        assert solver.decisions > 0
+        assert solver.restarts >= 1
+
+    def test_restarts_do_not_change_verdicts(self):
+        rng = random.Random(99)
+        for _ in range(10):
+            num_vars = rng.randrange(4, 9)
+            clauses = [
+                [rng.choice([1, -1]) * rng.randrange(1, num_vars + 1)
+                 for _ in range(rng.randrange(1, 4))]
+                for _ in range(rng.randrange(5, 30))
+            ]
+            result, _model = solve_clauses(clauses, num_vars=num_vars)
+            assert (result == SatResult.SAT) == TestSATSolver._brute_force(clauses, num_vars)
 
 
 class TestCNFBuilder:
@@ -163,6 +201,22 @@ class TestSolverFacade:
         solver.check()
         assert solver.statistics.cache_hits >= 1
 
+    def test_cache_survives_goal_collection(self):
+        """The uid-keyed cache must pin its goal terms: the intern table is
+        weak, so an unpinned conjunction would be collected between checks
+        and structurally identical repeats would re-intern to new uids."""
+        import gc
+
+        x = BitVec("x", 8)
+        solver = Solver()
+        for _repeat in range(3):
+            solver.push()
+            solver.add(ULT(x, 10), UGT(x, 3))  # multi-term goal: conjunction is transient
+            solver.check()
+            solver.pop()
+            gc.collect()
+        assert solver.statistics.cache_hits >= 2
+
     def test_multi_variable_arithmetic(self):
         x, y, z = BitVec("x", 16), BitVec("y", 16), BitVec("z", 16)
         status, model = check_formula(
@@ -206,6 +260,46 @@ class TestQuickCheck:
         ]
         outcome = quick_check(And(*constraints))
         assert outcome.status == QuickCheckResult.UNSAT
+
+    def test_wraparound_range_is_unsat(self):
+        # x > 250 and x < 5 has no unsigned 8-bit witness: the interval
+        # [251, 4] is empty (intervals do not wrap).
+        x = BitVec("x", 8)
+        outcome = quick_check(And(UGT(x, 250), ULT(x, 5)))
+        assert outcome.status == QuickCheckResult.UNSAT
+
+    def test_wraparound_subject_stays_unknown_for_sat(self):
+        # The subject x+10 is a pseudo-variable: intervals may refute it,
+        # but must never *claim* SAT (no model can be exhibited for it).
+        x = BitVec("x", 8)
+        outcome = quick_check(ULT(x + 10, 5))
+        assert outcome.status == QuickCheckResult.UNKNOWN
+        conflict = quick_check(And(ULT(x + 1, 3), UGT(x + 1, 7)))
+        assert conflict.status == QuickCheckResult.UNSAT
+
+    def test_signed_comparisons_are_not_misjudged(self):
+        # SLT/SLE are outside the unsigned-interval domain: the check must
+        # answer UNKNOWN, never a wrong verdict (0xFF is -1 signed).
+        x = BitVec("x", 8)
+        assert quick_check(SLT(x, BitVecVal(0, 8))).status == QuickCheckResult.UNKNOWN
+        assert (
+            quick_check(And(SLE(x, BitVecVal(5, 8)), UGT(x, 3))).status
+            == QuickCheckResult.UNKNOWN
+        )
+        # And the full solver agrees signed constraints are satisfiable.
+        status, model = check_formula(SLT(x, BitVecVal(0, 8)))
+        assert status == CheckResult.SAT
+        assert model is not None and int(model["x"]) >= 0x80
+
+    def test_width_one_vectors(self):
+        b = BitVec("b", 1)
+        sat = quick_check(Eq(b, BitVecVal(1, 1)))
+        assert sat.status == QuickCheckResult.SAT
+        assert sat.model["b"] == 1
+        empty = quick_check(And(Eq(b, BitVecVal(1, 1)), Eq(b, BitVecVal(0, 1))))
+        assert empty.status == QuickCheckResult.UNSAT
+        excluded = quick_check(And(Not(Eq(b, BitVecVal(0, 1))), Not(Eq(b, BitVecVal(1, 1)))))
+        assert excluded.status == QuickCheckResult.UNSAT
 
 
 @st.composite
