@@ -137,6 +137,12 @@ def _build_parser() -> _Parser:
         "--havoc-tables", action="store_true",
         help="havoc static tables (prove for any table contents, not the configured ones)",
     )
+    certify.add_argument(
+        "--sat-backend", choices=("reference", "array", "external"), default=None,
+        metavar="NAME",
+        help="SAT core: array (flat-arena CDCL, default), reference (from-scratch "
+             "oracle), or external (installed DIMACS solver, e.g. minisat/kissat)",
+    )
 
     diff = commands.add_parser(
         "diff", help="classify what changed between two catalogs/manifests (no verification)"
@@ -203,7 +209,8 @@ def _run_certify(args: argparse.Namespace) -> int:
     catalog = parse_catalog(args.catalog)
     properties = parse_properties(args.properties)
     options = SymbexOptions(
-        static_table_mode=StaticTableMode.HAVOC if args.havoc_tables else StaticTableMode.CONCRETE
+        static_table_mode=StaticTableMode.HAVOC if args.havoc_tables else StaticTableMode.CONCRETE,
+        sat_backend=args.sat_backend,
     )
     if args.max_paths is not None:
         options.max_paths = args.max_paths

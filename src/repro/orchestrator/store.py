@@ -62,9 +62,10 @@ def summary_key(element: Element, input_length: int, options: SymbexOptions) -> 
     Besides the element's configuration fingerprint, the digest covers the
     engine options that shape summary *content*: the static-table mode,
     branch pruning, and the solver conflict budget (a starved budget can
-    soundly-but-differently prune branches).  ``incremental`` is
-    deliberately excluded — the two solving cores are differentially
-    tested to produce identical summaries, so they may share entries.
+    soundly-but-differently prune branches).  ``incremental`` and
+    ``sat_backend`` are deliberately excluded — the solving cores and SAT
+    backends are differentially tested to produce identical summaries, so
+    they may share entries.
     Path/time budgets are also excluded: blowing one raises instead of
     producing a summary, so it can never poison the store.
     """

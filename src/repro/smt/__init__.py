@@ -3,7 +3,10 @@
 The symbolic executor and verifier state all of their constraints in this
 term language and decide them with :class:`Solver`.  The implementation
 consists of an immutable term DAG, an algebraic simplifier, an
-interval-domain quick check, a Tseitin bit-blaster, and a CDCL SAT solver.
+interval-domain quick check, a Tseitin bit-blaster, and a CDCL SAT core
+selected through the pluggable backend seam (:mod:`repro.smt.backend`):
+the flat-array :class:`ArraySolver` by default, the reference
+:class:`SATSolver` oracle, or an external DIMACS solver subprocess.
 
 Typical usage::
 
@@ -16,6 +19,17 @@ Typical usage::
     print(solver.model()["x"])
 """
 
+from .backend import (
+    DEFAULT_BACKEND,
+    ExternalSolver,
+    SatBackend,
+    available_backends,
+    find_external_solver,
+    make_sat_solver,
+    parse_dimacs,
+    parse_solver_output,
+    to_dimacs,
+)
 from .builder import (
     AShR,
     And,
@@ -69,6 +83,8 @@ from .qcache import (
     slice_fingerprint,
     term_digest,
 )
+from .sat import SATSolver, SatResult
+from .satcore import ArraySolver
 from .simplify import is_literal_false, is_literal_true, simplify
 from .slicing import Slice, free_variable_names, partition
 from .solver import CheckResult, Solver, SolverStatistics, check_formula
@@ -78,7 +94,13 @@ from .terms import FALSE, TRUE, Op, Term, intern_term, iter_dag, mk_term
 __all__ = [
     "AShR",
     "And",
+    "ArraySolver",
     "AssumptionChecker",
+    "DEFAULT_BACKEND",
+    "ExternalSolver",
+    "SATSolver",
+    "SatBackend",
+    "SatResult",
     "BOOL",
     "BitVec",
     "BitVecSort",
@@ -129,9 +151,15 @@ __all__ = [
     "URem",
     "Xor",
     "ZeroExt",
+    "available_backends",
     "bitvec",
     "build_query_cache",
     "check_formula",
+    "find_external_solver",
+    "make_sat_solver",
+    "parse_dimacs",
+    "parse_solver_output",
+    "to_dimacs",
     "conjoin",
     "disjoin",
     "evaluate",

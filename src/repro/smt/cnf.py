@@ -8,15 +8,25 @@ without special cases.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, List, Sequence
 
 
 class CNFBuilder:
-    """Accumulates clauses and allocates variables for one solver query."""
+    """Accumulates clauses and allocates variables for one solver query.
+
+    Clauses are kept twice: as ``clauses`` (a list of literal lists, the
+    view every existing consumer iterates) and as ``flat`` (the same
+    clauses as one contiguous 0-terminated ``array('i')``).  The flat
+    mirror exists for backends with a bulk-feed path
+    (``add_clause_stream``), which can ingest the whole formula without
+    materializing a Python list per clause.
+    """
 
     def __init__(self) -> None:
         self._num_vars = 1  # variable 1 is the constant-true variable
         self.clauses: List[List[int]] = [[self.TRUE]]
+        self.flat: array = array("i", [self.TRUE, 0])
 
     #: Literal that is always true / always false in every model.
     TRUE = 1
@@ -42,6 +52,8 @@ class CNFBuilder:
             if lit == 0 or abs(lit) > self._num_vars:
                 raise ValueError(f"literal {lit} out of range (have {self._num_vars} vars)")
         self.clauses.append(clause)
+        self.flat.extend(clause)
+        self.flat.append(0)
 
     def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
         for clause in clauses:

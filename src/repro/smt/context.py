@@ -36,13 +36,14 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .backend import make_sat_solver
 from .bitblast import BitBlaster
 from .cnf import CNFBuilder
 from .errors import SolverError
 from .interval import QuickCheckResult, quick_check
 from .model import Model, model_from_bits
 from .qcache import QueryCache
-from .sat import SATSolver, SatResult
+from .sat import SatResult
 from .simplify import simplify
 from .solver import CheckResult
 from .terms import Term, intern_term, mk_and
@@ -110,14 +111,18 @@ class SolverContext:
         self,
         max_conflicts: Optional[int] = 200_000,
         query_cache: Optional[QueryCache] = None,
+        sat_backend: Optional[str] = None,
     ) -> None:
         """``query_cache`` routes every check through the slicing/cache
         layer; ``None`` keeps the direct assumption-solving path (the
-        differential-testing baseline)."""
+        differential-testing baseline).  ``sat_backend`` names the CDCL
+        core (see :mod:`repro.smt.backend`); ``None`` takes the default."""
         self._cnf = CNFBuilder()
         self._blaster = BitBlaster(self._cnf)
-        self._sat = SATSolver(self._cnf.num_vars)
+        self.sat_backend = sat_backend
+        self._sat = make_sat_solver(sat_backend, self._cnf.num_vars)
         self._clauses_fed = 0
+        self._flat_fed = 0
         self._max_conflicts = max_conflicts
         self.query_cache = query_cache
         # Scope stack of asserted terms; scope 0 is the root and never popped.
@@ -310,9 +315,21 @@ class SolverContext:
         clauses = self._cnf.clauses
         if self._clauses_fed == len(clauses):
             return
-        self._sat.cancel()
-        for index in range(self._clauses_fed, len(clauses)):
-            self._sat.add_clause(clauses[index])
+        if not getattr(self._sat, "trail_safe_feed", False):
+            # The reference core requires a quiescent solver before new
+            # clauses; the array core feeds under a live trail, keeping
+            # its cached assumption levels (and their propagations).
+            self._sat.cancel()
+        stream = getattr(self._sat, "add_clause_stream", None)
+        if stream is not None:
+            # Bulk path: feed the 0-terminated flat mirror in one call
+            # instead of one Python call per clause.
+            flat = self._cnf.flat
+            stream(flat, self._flat_fed, len(flat))
+            self._flat_fed = len(flat)
+        else:
+            for index in range(self._clauses_fed, len(clauses)):
+                self._sat.add_clause(clauses[index])
         self._clauses_fed = len(clauses)
 
 
@@ -335,11 +352,15 @@ class AssumptionChecker:
         self,
         max_conflicts: Optional[int] = 200_000,
         query_cache: Optional[QueryCache] = None,
+        sat_backend: Optional[str] = None,
     ) -> None:
         """``query_cache`` (shared freely between checkers) slices every
         query and reuses verdicts/models/cores across them; without one
-        the checker keeps the prefix-alignment path."""
-        self.context = SolverContext(max_conflicts=max_conflicts, query_cache=query_cache)
+        the checker keeps the prefix-alignment path.  ``sat_backend``
+        picks the CDCL core backing the shared context."""
+        self.context = SolverContext(
+            max_conflicts=max_conflicts, query_cache=query_cache, sat_backend=sat_backend
+        )
         self.query_cache = query_cache
         self._stack: List[Term] = []
         # Verdicts only — models are not pinned here; a SAT repeat that

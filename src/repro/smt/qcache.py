@@ -67,6 +67,12 @@ UNKNOWN = "unknown"
 #: A per-slice decision procedure: terms -> (status, model-or-None).
 SolveFn = Callable[[Sequence[Term]], Tuple[str, Optional[Model]]]
 
+#: Batched-encoding hook: given every slice's term list, return one
+#: :data:`SolveFn` per slice.  Callers that build a fresh solver per
+#: slice use this to amortize bit-blasting and solver construction over
+#: the whole slice set (one arena, per-slice assumption roots).
+BatchFn = Callable[[Sequence[Sequence[Term]]], Sequence[SolveFn]]
+
 
 # -- structural fingerprints ---------------------------------------------------------
 
@@ -221,11 +227,20 @@ class QueryCache:
 
     # -- querying ------------------------------------------------------------------
 
-    def check(self, terms: Sequence[Term], solve: SolveFn) -> Tuple[str, Optional[Model]]:
+    def check(
+        self,
+        terms: Sequence[Term],
+        solve: SolveFn,
+        make_batch: Optional[BatchFn] = None,
+    ) -> Tuple[str, Optional[Model]]:
         """Decide the conjunction of ``terms`` (simplified, interned booleans).
 
         Returns ``(status, model)``; SAT always comes with a composed
         model.  ``solve`` is invoked once per slice no tier could answer.
+        ``make_batch`` (optional) replaces the per-slice ``solve`` with
+        callbacks sharing one batched encoding; slices are still decided
+        sequentially, so cache-tier traffic and the one-UNSAT-slice
+        short-circuit are identical either way.
         """
         self.statistics.checks += 1
         unique: List[Term] = []
@@ -241,10 +256,15 @@ class QueryCache:
             return SAT, Model({})
         slices = partition(unique)
         self.statistics.slices += len(slices)
+        solvers: Optional[Sequence[SolveFn]] = None
+        if make_batch is not None and len(slices) > 1:
+            solvers = make_batch([query_slice.terms for query_slice in slices])
         assignment: Dict[str, object] = {}
         unknown = False
-        for query_slice in slices:
-            status, model = self._check_slice(query_slice, solve)
+        for index, query_slice in enumerate(slices):
+            status, model = self._check_slice(
+                query_slice, solvers[index] if solvers is not None else solve
+            )
             if status == UNSAT:
                 return UNSAT, None
             if status == UNKNOWN:

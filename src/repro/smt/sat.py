@@ -49,9 +49,15 @@ class SatResult:
 
 
 class SATSolver:
-    """CDCL solver over clauses of integer literals (DIMACS conventions)."""
+    """CDCL solver over clauses of integer literals (DIMACS conventions).
 
-    def __init__(self, num_vars: int = 0) -> None:
+    ``max_learned`` bounds the learned-clause database: past it the solver
+    restarts and drops the low-activity half of the non-binary, non-locked
+    learned clauses (:meth:`_reduce_learned`).  ``None`` keeps every
+    learned clause forever — the historical behaviour.
+    """
+
+    def __init__(self, num_vars: int = 0, max_learned: Optional[int] = None) -> None:
         self._num_vars = 0
         # Indexed by variable (1-based); index 0 unused.
         self._assign: List[int] = [UNASSIGNED]
@@ -60,19 +66,30 @@ class SATSolver:
         self._activity: List[float] = [0.0]
         self._phase: List[bool] = [False]
         # Watch lists indexed by literal encoded as 2*v (positive) / 2*v+1 (negative).
-        self._watches: List[List[List[int]]] = [[], []]
+        # Each entry is a mutable [blocker, clause] pair: when the cached
+        # blocker literal is already true the clause is satisfied and the
+        # walk skips it without dereferencing the clause at all.
+        self._watches: List[List[List[object]]] = [[], []]
         self._clauses: List[List[int]] = []
         self._learned: List[List[int]] = []
+        # Learned-clause activities keyed by clause identity; entries are
+        # written at learning time and pruned on reduction, so a recycled
+        # id can never carry a stale score into a live clause.
+        self._learned_act: dict = {}
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._propagate_head = 0
         self._var_inc = 1.0
         self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
         self._ok = True
+        self.max_learned = max_learned
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
         self.restarts = 0
+        self.db_reductions = 0
         self._ensure_vars(num_vars)
 
     # -- public API -------------------------------------------------------------------
@@ -174,12 +191,17 @@ class SATSolver:
                 if conflict_budget is not None and self.conflicts >= conflict_budget:
                     self._backtrack(0)
                     return SatResult.UNKNOWN
-                if conflicts_since_restart >= restart_limit:
+                overfull = (
+                    self.max_learned is not None and len(self._learned) >= self.max_learned
+                )
+                if conflicts_since_restart >= restart_limit or overfull:
                     conflicts_since_restart = 0
                     restart_number += 1
                     restart_limit = RESTART_BASE * luby(restart_number)
                     self.restarts += 1
                     self._backtrack(0)
+                    if overfull:
+                        self._reduce_learned()
                 continue
 
             # Place assumptions before free decisions.
@@ -262,8 +284,9 @@ class SATSolver:
         self._trail_lim.append(len(self._trail))
 
     def _watch_clause(self, clause: List[int]) -> None:
-        self._watches[self._lit_index(-clause[0])].append(clause)
-        self._watches[self._lit_index(-clause[1])].append(clause)
+        # Each watcher caches the *other* watched literal as its blocker.
+        self._watches[self._lit_index(-clause[0])].append([clause[1], clause])
+        self._watches[self._lit_index(-clause[1])].append([clause[0], clause])
 
     def _enqueue_root(self, lit: int) -> bool:
         value = self._lit_value(lit)
@@ -294,12 +317,19 @@ class SATSolver:
             watch_list = self._watches[self._lit_index(lit)]
             index = 0
             while index < len(watch_list):
-                clause = watch_list[index]
+                entry = watch_list[index]
+                # A true blocker means the clause is satisfied: skip it
+                # without even dereferencing the clause.
+                if self._lit_value(entry[0]) == TRUE:
+                    index += 1
+                    continue
+                clause = entry[1]
                 # Normalise so that clause[1] is the falsified watch (-lit).
                 if clause[0] == -lit:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
                 if self._lit_value(first) == TRUE:
+                    entry[0] = first  # refresh the blocker for next time
                     index += 1
                     continue
                 # Look for a new literal to watch.
@@ -308,7 +338,7 @@ class SATSolver:
                     candidate = clause[position]
                     if self._lit_value(candidate) != FALSE:
                         clause[1], clause[position] = clause[position], clause[1]
-                        self._watches[self._lit_index(-clause[1])].append(clause)
+                        self._watches[self._lit_index(-clause[1])].append([first, clause])
                         watch_list[index] = watch_list[-1]
                         watch_list.pop()
                         found = True
@@ -319,6 +349,7 @@ class SATSolver:
                 if self._lit_value(first) == FALSE:
                     self._propagate_head = len(self._trail)
                     return clause
+                entry[0] = first
                 self._enqueue(first, clause)
                 index += 1
         return None
@@ -335,6 +366,8 @@ class SATSolver:
 
         while True:
             assert reason is not None
+            if id(reason) in self._learned_act:
+                self._learned_act[id(reason)] += self._cla_inc
             for reason_lit in reason:
                 if lit is not None and reason_lit == lit:
                     continue
@@ -377,8 +410,43 @@ class SATSolver:
             self._enqueue(learned[0], None)
             return
         self._learned.append(learned)
+        self._learned_act[id(learned)] = self._cla_inc
         self._watch_clause(learned)
         self._enqueue(learned[0], learned)
+
+    def _reduce_learned(self) -> None:
+        """Drop the low-activity half of the learned-clause database.
+
+        Called at decision level 0 only.  Binary clauses (cheap to keep,
+        expensive to relearn) and clauses locked as the reason of a root
+        assignment survive every sweep; the rest are ranked by bump
+        activity.  Watch lists are rebuilt from the retained clauses —
+        their watch positions still satisfy the two-watched invariant
+        under the unchanged root assignment.
+        """
+        locked = {
+            id(self._reason[abs(lit)])
+            for lit in self._trail
+            if self._reason[abs(lit)] is not None
+        }
+        keep: List[List[int]] = []
+        candidates: List[List[int]] = []
+        for clause in self._learned:
+            if len(clause) <= 2 or id(clause) in locked:
+                keep.append(clause)
+            else:
+                candidates.append(clause)
+        candidates.sort(key=lambda clause: self._learned_act[id(clause)], reverse=True)
+        keep.extend(candidates[: len(candidates) // 2])
+        self._learned = keep
+        self._learned_act = {id(clause): self._learned_act[id(clause)] for clause in keep}
+        for watch_list in self._watches:
+            del watch_list[:]
+        for clause in self._clauses:
+            self._watch_clause(clause)
+        for clause in self._learned:
+            self._watch_clause(clause)
+        self.db_reductions += 1
 
     def _backtrack(self, level: int) -> None:
         if self._decision_level() <= level:
@@ -413,6 +481,7 @@ class SATSolver:
 
     def _decay_activities(self) -> None:
         self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
 
 
 def solve_clauses(

@@ -20,14 +20,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+from .backend import make_sat_solver
 from .bitblast import BitBlaster
 from .builder import And
 from .errors import SolverError
 from .interval import QuickCheckResult, quick_check
 from .model import Model, model_from_bits
-from .sat import SATSolver, SatResult
+from .sat import SatResult
 from .simplify import simplify
 from .terms import TRUE, Op, Term, mk_and
 
@@ -105,12 +106,14 @@ class Solver:
         max_conflicts: Optional[int] = 200_000,
         enable_cache: bool = True,
         query_cache: Optional["QueryCache"] = None,
+        sat_backend: Optional[str] = None,
     ) -> None:
         self._assertions: List[Term] = []
         self._scopes: List[int] = []
         self._model: Optional[Model] = None
         self._max_conflicts = max_conflicts
         self._enable_cache = enable_cache
+        self.sat_backend = sat_backend
         # Keyed by the simplified goal's interned uid: uids are never
         # reused, so a key can go stale (unreachable) but never collide.
         self._cache: Dict[int, _CachedAnswer] = {}
@@ -169,7 +172,9 @@ class Solver:
         if self._query_cache is not None and not goal.is_true() and not goal.is_false():
             conjuncts = list(goal.args) if goal.op == Op.AND else [goal]
             hits_before = self._query_cache.statistics.hits
-            status, model = self._query_cache.check(conjuncts, self._decide_slice)
+            status, model = self._query_cache.check(
+                conjuncts, self._decide_slice, make_batch=self._make_batch
+            )
             self.statistics.qcache_hits += self._query_cache.statistics.hits - hits_before
         else:
             status, model = self._decide(goal)
@@ -224,10 +229,9 @@ class Solver:
 
         blaster = BitBlaster()
         blaster.assert_term(goal)
-        sat_solver = SATSolver(blaster.cnf.num_vars)
-        for clause in blaster.cnf.clauses:
-            if not sat_solver.add_clause(clause):
-                return CheckResult.UNSAT, None
+        sat_solver = make_sat_solver(self.sat_backend, blaster.cnf.num_vars)
+        if not _feed_cnf(sat_solver, blaster.cnf):
+            return CheckResult.UNSAT, None
         self.statistics.sat_core_calls += 1
         outcome = sat_solver.solve(max_conflicts=self._max_conflicts)
         self.statistics.sat_conflicts += sat_solver.conflicts
@@ -240,6 +244,96 @@ class Solver:
             blaster.variable_bits(), blaster.boolean_variables(), sat_solver.model()
         )
         return CheckResult.SAT, model
+
+    def _make_batch(self, groups: Sequence[Sequence[Term]]) -> List:
+        """Batched slice arena: one bit-blaster + one SAT core for all slices.
+
+        Each slice's conjunction is Tseitin-encoded to a root literal in a
+        *shared* CNF, fed once to a single solver; slice ``i`` is then one
+        assumption solve under its root.  Encoding and solver construction
+        are amortized over the slice set, and the encoding is lazy — it
+        only happens if some slice actually misses every cache tier and
+        the interval quick check (an earlier slice answering UNSAT means
+        later slices never force the build at all).
+
+        Sound because Tseitin definitions are satisfiable on their own:
+        under root ``r_i`` only slice ``i``'s constraint is active, so
+        verdicts match the solver-per-slice path (models may differ —
+        any model of slice ``i`` is acceptable).
+        """
+        state: Dict[str, object] = {}
+
+        def ensure_built() -> None:
+            if state:
+                return
+            blaster = BitBlaster()
+            roots = [
+                blaster.blast_bool(terms[0] if len(terms) == 1 else mk_and(*terms))
+                for terms in groups
+            ]
+            sat_solver = make_sat_solver(self.sat_backend, blaster.cnf.num_vars)
+            state["ok"] = _feed_cnf(sat_solver, blaster.cnf)
+            state["blaster"] = blaster
+            state["solver"] = sat_solver
+            state["roots"] = roots
+
+        def solve_group(index: int):
+            def run(terms: Sequence[Term]) -> tuple[str, Optional[Model]]:
+                goal = terms[0] if len(terms) == 1 else mk_and(*terms)
+                quick = quick_check(goal)
+                if quick.status == QuickCheckResult.UNSAT:
+                    self.statistics.quick_check_hits += 1
+                    return CheckResult.UNSAT, None
+                if quick.status == QuickCheckResult.SAT:
+                    self.statistics.quick_check_hits += 1
+                    return CheckResult.SAT, Model(quick.model)
+                ensure_built()
+                if not state["ok"]:
+                    # A definitional CNF cannot be contradictory; if the
+                    # feed still failed, degrade soundly (never cached).
+                    return CheckResult.UNKNOWN, None
+                sat_solver = state["solver"]
+                conflicts_before = sat_solver.conflicts
+                decisions_before = sat_solver.decisions
+                self.statistics.sat_core_calls += 1
+                outcome = sat_solver.solve(
+                    assumptions=[state["roots"][index]],  # type: ignore[index]
+                    max_conflicts=self._max_conflicts,
+                )
+                self.statistics.sat_conflicts += sat_solver.conflicts - conflicts_before
+                self.statistics.sat_decisions += sat_solver.decisions - decisions_before
+                if outcome == SatResult.UNSAT:
+                    return CheckResult.UNSAT, None
+                if outcome == SatResult.UNKNOWN:
+                    return CheckResult.UNKNOWN, None
+                blaster = state["blaster"]
+                model = model_from_bits(
+                    blaster.variable_bits(),  # type: ignore[attr-defined]
+                    blaster.boolean_variables(),  # type: ignore[attr-defined]
+                    sat_solver.model(),
+                )
+                return CheckResult.SAT, model
+
+            return run
+
+        return [solve_group(index) for index in range(len(groups))]
+
+
+def _feed_cnf(sat_solver, cnf) -> bool:
+    """Feed a whole CNF to a fresh SAT core; False on a trivially false clause.
+
+    Uses the backend's bulk ``add_clause_stream`` (one call for the whole
+    0-terminated flat buffer) when it has one, the per-clause loop
+    otherwise.
+    """
+    sat_solver.reserve(cnf.num_vars)
+    stream = getattr(sat_solver, "add_clause_stream", None)
+    if stream is not None:
+        return stream(cnf.flat)
+    for clause in cnf.clauses:
+        if not sat_solver.add_clause(clause):
+            return False
+    return True
 
 
 def check_formula(formula: Term, max_conflicts: Optional[int] = 200_000) -> tuple[str, Optional[Model]]:

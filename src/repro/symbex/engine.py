@@ -93,6 +93,12 @@ class SymbexOptions:
     #: in-memory tiers only).  Excluded from summary/verdict store keys:
     #: the cache changes how queries are answered, never what they answer.
     query_cache_dir: Optional[str] = None
+    #: SAT core behind every solver this run constructs
+    #: (:mod:`repro.smt.backend`): ``array`` (flat-arena CDCL, default),
+    #: ``reference`` (the from-scratch oracle), or ``external`` (installed
+    #: DIMACS solver).  Backends are differentially tested to agree, so —
+    #: like the caches — this is excluded from summary/verdict store keys.
+    sat_backend: Optional[str] = None
 
 
 class SymbolicEngine:
@@ -109,7 +115,8 @@ class SymbolicEngine:
         standalone engines build one from the options."""
         self.options = options or SymbexOptions()
         self.solver = solver if solver is not None else smt.Solver(
-            max_conflicts=self.options.solver_max_conflicts
+            max_conflicts=self.options.solver_max_conflicts,
+            sat_backend=self.options.sat_backend,
         )
         # Injecting an explicit scratch solver opts out of incremental mode:
         # callers doing so want every query to go through that instance.
@@ -119,7 +126,9 @@ class SymbolicEngine:
                     self.options.query_opt, self.options.query_cache_dir
                 )
             self.checker: Optional[smt.AssumptionChecker] = smt.AssumptionChecker(
-                max_conflicts=self.options.solver_max_conflicts, query_cache=query_cache
+                max_conflicts=self.options.solver_max_conflicts,
+                query_cache=query_cache,
+                sat_backend=self.options.sat_backend,
             )
         else:
             self.checker = None

@@ -96,7 +96,9 @@ class CompositionEngine:
         incremental: Optional[bool] = None,
     ) -> None:
         self.cache = cache
-        self.solver = solver if solver is not None else smt.Solver()
+        self.solver = solver if solver is not None else smt.Solver(
+            sat_backend=cache.options.sat_backend
+        )
         if incremental is None:
             incremental = cache.options.incremental and solver is None
         # The query cache is shared with the summary cache's engines, so
@@ -105,6 +107,7 @@ class CompositionEngine:
             smt.AssumptionChecker(
                 max_conflicts=cache.options.solver_max_conflicts,
                 query_cache=cache.query_cache,
+                sat_backend=cache.options.sat_backend,
             )
             if incremental
             else None
