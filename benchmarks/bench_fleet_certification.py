@@ -20,6 +20,7 @@ Set ``REPRO_BENCH_QUICK=1`` for a CI-smoke-sized run.
 import os
 import tempfile
 
+from repro.obs.trace import Tracer
 from repro.orchestrator import SummaryStore, certify_fleet
 from repro.verify import CrashFreedom, destination_reachability
 from repro.workloads import fleet_catalog
@@ -93,6 +94,20 @@ def test_fleet_certification(benchmark, bench_json):
               f"{stats.summaries_computed:>15} | {stats.store_hits:>10}")
     print(f"{'speedup':>16} | {speedup:>8.2f}x")
 
+    # A separate traced cold run (outside the timed region — the three
+    # benchmarked runs above stay tracing-free, so the committed-baseline
+    # gate also guards the disabled-tracing overhead).  The span summary
+    # rides into BENCH_fleet.json for the archived artifacts.
+    run_tracer = Tracer()
+    traced = certify_fleet(
+        fleet_catalog(CATALOG_SIZE),
+        _properties(),
+        input_lengths=INPUT_LENGTHS,
+        workers=1,
+        trace=run_tracer,
+    )
+    trace_summary = run_tracer.summary()
+
     bench_json(
         "fleet",
         {
@@ -109,7 +124,29 @@ def test_fleet_certification(benchmark, bench_json):
             "certified": len(cold.certified),
             "rejected": len(cold.rejected),
             "counterexamples": cold.statistics.counterexamples,
+            "trace": {
+                "spans": trace_summary["spans"],
+                "events": trace_summary["events"],
+                "phase_seconds": {
+                    name: phase["seconds"]
+                    for name, phase in trace_summary["phases"].items()
+                },
+            },
         },
+    )
+
+    # Tracing is observation only: verdicts are unchanged, and the traced
+    # run's verify-phase span total reconciles with the statistics the
+    # verifier reports on its own (the spans cover the same intervals).
+    assert traced.verdicts() == cold.verdicts()
+    reported_verify_seconds = sum(
+        result.statistics.elapsed_seconds
+        for certification in traced.certifications
+        for result in certification.results
+    )
+    traced_verify_seconds = trace_summary["phases"]["verify"]["seconds"]
+    assert abs(traced_verify_seconds - reported_verify_seconds) <= max(
+        0.10 * reported_verify_seconds, 1e-6
     )
 
     # (a) A warm store serves the entire unchanged catalog: zero Step-1

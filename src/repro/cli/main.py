@@ -1,13 +1,16 @@
 """``python -m repro`` argument parsing and subcommand dispatch.
 
-Four subcommands, one per operational question:
+Five subcommands, one per operational question:
 
 * ``certify`` — is every pipeline in the catalog safe?  Full or delta
-  (``--store``/``--verdict-store``/``--baseline``) fleet certification.
+  (``--store``/``--verdict-store``/``--baseline``) fleet certification;
+  ``--trace`` additionally exports a span trace of where the time went.
 * ``diff`` — what would a configuration change affect?  Structural diff
   of two catalogs/manifests, no verification.
 * ``bench-compare`` — did performance regress?  Gate ``BENCH_*.json``
   against committed baselines.
+* ``trace`` — where did a certification spend its time?  Summarize a
+  ``--trace`` export per phase / pipeline / element.
 * ``store`` — maintenance (``gc``, ``stats``) for the on-disk tiers.
 
 Exit codes are documented in :mod:`repro.cli`; ``main`` returns them
@@ -31,6 +34,7 @@ from ..orchestrator import (
     diff_manifests,
     recertify,
 )
+from ..obs.trace import Tracer, load_trace, summarize_spans
 from ..orchestrator.errors import StoreError
 from ..symbex.engine import StaticTableMode, SymbexOptions
 from ..verify.report import Verdict
@@ -143,6 +147,27 @@ def _build_parser() -> _Parser:
         help="SAT core: array (flat-arena CDCL, default), reference (from-scratch "
              "oracle), or external (installed DIMACS solver, e.g. minisat/kissat)",
     )
+    certify.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the run and write it to PATH "
+             "(inspect with 'trace summary', or load chrome format in Perfetto)",
+    )
+    certify.add_argument(
+        "--trace-format", choices=("chrome", "jsonl"), default="chrome",
+        help="trace export format: chrome (chrome://tracing / Perfetto, default) "
+             "or jsonl (one span per line)",
+    )
+
+    trace = commands.add_parser("trace", help="inspect exported span traces")
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_commands.add_parser(
+        "summary", help="per-phase / per-pipeline / per-element time breakdown"
+    )
+    trace_summary.add_argument(
+        "trace_file", metavar="TRACE",
+        help="a certify --trace export (chrome or jsonl, autodetected)",
+    )
+    trace_summary.add_argument("--json", action="store_true")
 
     diff = commands.add_parser(
         "diff", help="classify what changed between two catalogs/manifests (no verification)"
@@ -215,6 +240,7 @@ def _run_certify(args: argparse.Namespace) -> int:
     if args.max_paths is not None:
         options.max_paths = args.max_paths
     baseline = _load_manifest(args.baseline) if args.baseline else None
+    run_tracer = Tracer() if args.trace else None
 
     result = recertify(
         catalog,
@@ -229,6 +255,7 @@ def _run_certify(args: argparse.Namespace) -> int:
         max_counterexamples=args.max_counterexamples,
         confirm_by_replay=not args.no_replay,
         instruction_bounds=args.instruction_bounds,
+        trace=run_tracer,
     )
     report = result.report
 
@@ -247,6 +274,18 @@ def _run_certify(args: argparse.Namespace) -> int:
         "certifications": [c.to_dict() for c in report.certifications],
         "impact": result.impact.to_dict() if result.impact else None,
     }
+    if run_tracer is not None:
+        if args.trace_format == "jsonl":
+            events = run_tracer.export_jsonl(args.trace)
+        else:
+            events = run_tracer.export_chrome(args.trace)
+        document["trace"] = {
+            "path": args.trace,
+            "format": args.trace_format,
+            "summary": run_tracer.summary(),
+        }
+        if not args.json:
+            print(f"trace      : {events} events -> {args.trace} ({args.trace_format})")
     if args.emit_manifest:
         Path(args.emit_manifest).write_text(json.dumps(result.manifest, indent=2) + "\n")
     if args.report:
@@ -287,6 +326,42 @@ def _run_diff(args: argparse.Namespace) -> int:
     return EXIT_VIOLATED if changed else EXIT_OK
 
 
+# -- trace ----------------------------------------------------------------------------
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """Summarize a ``certify --trace`` export (either format, autodetected).
+
+    An unreadable file is a usage error; a readable-but-empty trace exits
+    :data:`EXIT_UNKNOWN` so a CI smoke step can assert "the traced run
+    actually recorded spans" with no extra parsing.
+    """
+    try:
+        spans = load_trace(args.trace_file)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise _UsageError(f"cannot read trace {args.trace_file}: {exc}") from None
+    summary = summarize_spans(spans)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"trace      : {summary['spans']} spans, {summary['events']} events, "
+            f"{summary['wall_seconds']:.3f}s wall"
+        )
+        for name, phase in summary["phases"].items():
+            print(
+                f"phase      : {name:12} {phase['count']:8d} x  {phase['seconds']:10.3f}s"
+            )
+        for name, seconds in summary["pipelines"].items():
+            print(f"pipeline   : {name:28} {seconds:10.3f}s")
+        for name, seconds in summary["elements"].items():
+            print(f"element    : {name:28} {seconds:10.3f}s")
+    if summary["spans"] == 0 and summary["events"] == 0:
+        print(f"error: trace {args.trace_file} holds no spans", file=sys.stderr)
+        return EXIT_UNKNOWN
+    return EXIT_OK
+
+
 # -- bench-compare --------------------------------------------------------------------
 
 
@@ -323,6 +398,30 @@ def _open_stores(
     return stores
 
 
+#: Query-cache tiers as (display label, persisted counter field), in the
+#: order the cache itself probes them.
+_QUERY_TIERS = (
+    ("exact", "exact_hits"),
+    ("core-subset", "unsat_core_hits"),
+    ("superset", "superset_sat_hits"),
+    ("model-reuse", "model_reuse_hits"),
+    ("l3", "l3_hits"),
+)
+
+
+def _query_tier_rates(metrics: dict) -> dict:
+    """Per-tier hit rates over the slices every tier got a chance at."""
+    slices = float(metrics.get("slices", 0) or 0)
+    rates: dict = {}
+    total = 0
+    for tier_label, field_name in _QUERY_TIERS:
+        hits = int(metrics.get(field_name, 0) or 0)
+        total += hits
+        rates[tier_label] = hits / slices if slices else 0.0
+    rates["overall"] = total / slices if slices else 0.0
+    return rates
+
+
 def _run_store(args: argparse.Namespace) -> int:
     stores = _open_stores(args)
     document: dict = {"command": f"store {args.store_command}", "stores": {}}
@@ -336,14 +435,36 @@ def _run_store(args: argparse.Namespace) -> int:
             if not args.json:
                 print(f"{label} store {store.root}: {result.summary()}")
         else:
-            document["stores"][label] = {
+            entry: dict = {
                 "root": str(store.root),
                 "entries": len(store),
                 "bytes": store.size_bytes(),
             }
+            if isinstance(store, QueryStore):
+                metrics = store.load_metrics()
+                if metrics:
+                    entry["metrics"] = metrics
+                    entry["tier_rates"] = _query_tier_rates(metrics)
+            document["stores"][label] = entry
             if not args.json:
                 print(f"{label} store {store.root}: {len(store)} entries, "
                       f"{store.size_bytes()} bytes")
+                rates = entry.get("tier_rates")
+                if rates:
+                    metrics = entry["metrics"]
+                    print(
+                        f"  query traffic: {metrics.get('runs', 0)} runs, "
+                        f"{metrics.get('checks', 0)} checks, "
+                        f"{metrics.get('slices', 0)} slices"
+                    )
+                    print(
+                        "  tier hit rates: "
+                        + ", ".join(
+                            f"{tier_label} {rates[tier_label]:.1%}"
+                            for tier_label, _field in _QUERY_TIERS
+                        )
+                        + f" (overall {rates['overall']:.1%})"
+                    )
     if args.json:
         print(json.dumps(document, indent=2))
     return EXIT_OK
@@ -363,6 +484,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_diff(args)
         if args.command == "bench-compare":
             return _run_bench_compare(args)
+        if args.command == "trace":
+            return _run_trace(args)
         if args.command == "store":
             return _run_store(args)
         raise _UsageError(f"unknown command {args.command!r}")  # pragma: no cover

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..ir.interpreter import Outcome
+from ..obs.stats import StatisticsMixin
 from .element import Element
 from .errors import PipelineConfigurationError
 from .packet import Packet
@@ -62,8 +63,11 @@ class PacketTrace:
 
 
 @dataclass
-class DriverStatistics:
+class DriverStatistics(StatisticsMixin):
     """Aggregate statistics over a driver run."""
+
+    #: A merged run's worst case is the max of the two, not their sum.
+    MERGE_MAX = ("max_instructions",)
 
     packets_in: int = 0
     packets_delivered: int = 0

@@ -1,0 +1,100 @@
+"""One statistics protocol instead of nine hand-rolled variants.
+
+Every ``*Statistics`` dataclass in the repo (solver, context, query
+cache, summary cache, store, verification, fleet, driver, monolithic)
+mixes this in and gets, generically over :func:`dataclasses.fields`:
+
+* ``to_dict()`` / ``from_dict()`` — plain-JSON round-trip with exactly
+  the dataclass's field names as keys (the key sets the verdict store
+  already persists are unchanged, because the old hand-rolled dicts
+  enumerated exactly the fields too);
+* ``as_dict()`` — alias kept for the solver-layer callers that predate
+  the unification;
+* ``merge(other)`` — numeric fields sum, bools OR, dict fields key-sum,
+  except fields named in the ``MERGE_MAX`` class var which take the max
+  (high-water marks like a driver's ``max_instructions``);
+* ``publish(prefix)`` — push every scalar field into the process-wide
+  :func:`repro.obs.metrics.metrics` registry as ``<prefix>.<field>``
+  gauges.
+
+Field-type dispatch checks ``bool`` before ``int``/``float`` because
+``bool`` subclasses ``int`` — merging two ``budget_exceeded`` flags must
+OR, not sum.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import ClassVar, Tuple, TypeVar
+
+from .metrics import MetricsRegistry, metrics
+
+__all__ = ["StatisticsMixin"]
+
+S = TypeVar("S", bound="StatisticsMixin")
+
+
+class StatisticsMixin:
+    """Shared ``to_dict``/``from_dict``/``merge``/``publish`` for stats dataclasses."""
+
+    #: Field names merged by ``max`` instead of ``+`` (high-water marks).
+    MERGE_MAX: ClassVar[Tuple[str, ...]] = ()
+
+    def to_dict(self) -> dict:
+        payload = {}
+        for spec in dataclasses.fields(self):  # type: ignore[arg-type]
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, (list, tuple)):
+                value = list(value)
+            payload[spec.name] = value
+        return payload
+
+    def as_dict(self) -> dict:
+        """Alias for :meth:`to_dict` (pre-unification spelling)."""
+        return self.to_dict()
+
+    @classmethod
+    def from_dict(cls, payload: dict):
+        statistics = cls()
+        for spec in dataclasses.fields(cls):  # type: ignore[arg-type]
+            if spec.name not in payload:
+                continue
+            value = payload[spec.name]
+            if isinstance(getattr(statistics, spec.name), dict) and value is not None:
+                value = dict(value)
+            setattr(statistics, spec.name, value)
+        return statistics
+
+    def merge(self: S, other: S) -> S:
+        """Fold ``other`` into ``self`` (sum/OR/key-sum; ``MERGE_MAX`` maxes)."""
+        for spec in dataclasses.fields(self):  # type: ignore[arg-type]
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, bool) or isinstance(theirs, bool):
+                setattr(self, spec.name, bool(mine) or bool(theirs))
+            elif spec.name in self.MERGE_MAX:
+                setattr(self, spec.name, max(mine, theirs))
+            elif isinstance(mine, (int, float)):
+                setattr(self, spec.name, mine + theirs)
+            elif isinstance(mine, dict):
+                for key, value in theirs.items():
+                    if isinstance(value, bool):
+                        mine[key] = bool(mine.get(key, False)) or value
+                    elif isinstance(value, (int, float)):
+                        mine[key] = mine.get(key, 0) + value
+                    else:  # pragma: no cover - non-numeric dict values don't merge
+                        mine[key] = value
+            # Non-numeric scalars (strings, None) keep self's value.
+        return self
+
+    def publish(self, prefix: str, registry: MetricsRegistry = None) -> None:  # type: ignore[assignment]
+        """Publish every scalar field as a ``<prefix>.<field>`` gauge."""
+        target = registry if registry is not None else metrics()
+        for spec in dataclasses.fields(self):  # type: ignore[arg-type]
+            value = getattr(self, spec.name)
+            if isinstance(value, bool):
+                target.gauge(f"{prefix}.{spec.name}").set(int(value))
+            elif isinstance(value, (int, float)):
+                target.gauge(f"{prefix}.{spec.name}").set(value)

@@ -1,0 +1,541 @@
+"""Span tracing: nestable, thread/fork-safe spans over a process-local ring buffer.
+
+The tracer answers the operational question the end-to-end counters
+cannot: *where does certification time go* — symbex vs. composition vs.
+SAT core vs. stores — per element, per pipeline, per solve.  Call sites
+wrap work in ``with trace.span("symbex.element", "symbex", element=name):``
+and the closed span lands in a bounded ring buffer, exportable as JSONL
+or as Chrome-trace JSON (loadable in ``chrome://tracing`` / Perfetto).
+
+Design constraints, in order:
+
+* **Zero overhead when disabled.**  The module-level :data:`NULL_TRACER`
+  is installed by default; its ``span()`` returns one shared no-op
+  context manager and its ``enabled`` flag lets hot paths skip argument
+  assembly entirely (``if trace.enabled:``).
+* **Thread safety.**  The buffer is guarded by a lock; the open-span
+  stack (for parent ids) is per-thread.
+* **Fork safety.**  A forked worker inherits the parent's tracer object
+  *including its buffer*.  Every buffer operation checks ``os.getpid()``
+  against the recording process: the first touch from a new pid clears
+  the inherited spans, so a worker ships only the spans it recorded
+  itself and a merged trace holds each span exactly once.  Span ids are
+  ``(pid, sequence)`` pairs, unique across the whole worker tree.
+
+Durations use :func:`clock` (``time.perf_counter``) — CLOCK_MONOTONIC on
+Linux, which is shared across processes of one boot, so spans recorded
+in fork workers land on the same timeline as the parent's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "active",
+    "clock",
+    "enable",
+    "install",
+    "load_trace",
+    "summarize_spans",
+    "tracer",
+    "wall_clock",
+]
+
+#: The one monotonic duration clock every layer times against
+#: (``time.perf_counter``).  Never use ``time.time()`` for durations —
+#: wall clock steps under NTP; see :func:`wall_clock` for the one case
+#: that genuinely wants wall time.
+clock = time.perf_counter
+
+#: Wall-clock time (``time.time``), for comparisons against *external*
+#: wall-clock timestamps only — in practice file mtimes during store GC.
+wall_clock = time.time
+
+#: Default ring-buffer capacity: enough for a full-catalog certification
+#: (tens of thousands of solve spans) without unbounded growth.
+DEFAULT_CAPACITY = 262_144
+
+_CHROME_HEADER = "traceEvents"
+
+
+class Span:
+    """One closed span (or instant event) on the trace timeline."""
+
+    __slots__ = ("name", "category", "start", "end", "pid", "tid", "sid", "parent", "args")
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        pid: int,
+        tid: int,
+        sid: int,
+        parent: Optional[int] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end = end
+        self.pid = pid
+        self.tid = tid
+        self.sid = sid
+        self.parent = parent
+        self.args = args or {}
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def is_event(self) -> bool:
+        """Instant events carry a timestamp but no duration."""
+        return self.end == self.start
+
+    def to_dict(self) -> dict:
+        payload = {
+            "name": self.name,
+            "cat": self.category,
+            "start": self.start,
+            "end": self.end,
+            "pid": self.pid,
+            "tid": self.tid,
+            "sid": self.sid,
+        }
+        if self.parent is not None:
+            payload["parent"] = self.parent
+        if self.args:
+            payload["args"] = dict(self.args)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload.get("name", ""),
+            category=payload.get("cat", ""),
+            start=float(payload.get("start", 0.0)),
+            end=float(payload.get("end", 0.0)),
+            pid=int(payload.get("pid", 0)),
+            tid=int(payload.get("tid", 0)),
+            sid=int(payload.get("sid", 0)),
+            parent=payload.get("parent"),
+            args=dict(payload.get("args", {})),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, cat={self.category!r}, "
+            f"dur={self.duration * 1000:.3f}ms, pid={self.pid})"
+        )
+
+
+class _NullSpan:
+    """The shared no-op span handle of the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    One module-level singleton (:data:`NULL_TRACER`) is shared by every
+    call site, so a disabled run allocates nothing and hot paths can gate
+    on the class-level ``enabled`` flag.
+    """
+
+    enabled = False
+
+    def span(self, name: str, category: str = "", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, category: str = "", **args) -> None:
+        pass
+
+    def record_span(
+        self, name: str, category: str, start: float, end: float, **args
+    ) -> None:
+        pass
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def drain(self) -> List[dict]:
+        return []
+
+    def ingest(self, payloads: Iterable[dict]) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+
+class _SpanHandle:
+    """An open span: context manager that records itself on exit."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "start", "sid", "parent")
+
+    def __init__(self, owner: "Tracer", name: str, category: str, args: dict) -> None:
+        self._tracer = owner
+        self.name = name
+        self.category = category
+        self.args = args
+        self.start = 0.0
+        self.sid = 0
+        self.parent: Optional[int] = None
+
+    def set(self, **args) -> None:
+        """Attach (or overwrite) span arguments while the span is open."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._open(self)
+        self.start = clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = clock()
+        self._tracer._close(self, end)
+        return False
+
+
+class Tracer:
+    """The enabled tracer: a bounded ring buffer of closed spans."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._buffer: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._pid = os.getpid()
+        self._next_sid = 1
+
+    # -- fork safety ---------------------------------------------------------------
+
+    def _fork_check(self) -> None:
+        """Drop spans inherited through ``fork()`` on first touch in a child.
+
+        The parent keeps its buffer (its pid still matches); a worker
+        starts from an empty buffer and ships back only its own spans.
+        """
+        if os.getpid() != self._pid:
+            self._buffer = deque(maxlen=self.capacity)
+            self._local = threading.local()
+            self._pid = os.getpid()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    # -- recording -----------------------------------------------------------------
+
+    def span(self, name: str, category: str = "", **args) -> _SpanHandle:
+        """Open a nestable span; close it by exiting the ``with`` block."""
+        return _SpanHandle(self, name, category, args)
+
+    def _open(self, handle: _SpanHandle) -> None:
+        self._fork_check()
+        with self._lock:
+            handle.sid = self._next_sid
+            self._next_sid += 1
+        stack = self._stack()
+        handle.parent = stack[-1].sid if stack else None
+        stack.append(handle)
+
+    def _close(self, handle: _SpanHandle, end: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is handle:
+            stack.pop()
+        elif handle in stack:  # pragma: no cover - mis-nested exit, still recorded
+            stack.remove(handle)
+        span = Span(
+            name=handle.name,
+            category=handle.category,
+            start=handle.start,
+            end=end,
+            pid=self._pid,
+            tid=threading.get_ident(),
+            sid=handle.sid,
+            parent=handle.parent,
+            args=handle.args,
+        )
+        with self._lock:
+            self._buffer.append(span)
+
+    def event(self, name: str, category: str = "", **args) -> None:
+        """Record an instant event (zero-duration span) at the current time."""
+        now = clock()
+        self.record_span(name, category, now, now, **args)
+
+    def record_span(
+        self, name: str, category: str, start: float, end: float, **args
+    ) -> None:
+        """Record an already-timed span (used by call sites that must not
+        pay for a context manager on their hot path)."""
+        self._fork_check()
+        stack = self._stack()
+        with self._lock:
+            sid = self._next_sid
+            self._next_sid += 1
+            self._buffer.append(
+                Span(
+                    name=name,
+                    category=category,
+                    start=start,
+                    end=end,
+                    pid=self._pid,
+                    tid=threading.get_ident(),
+                    sid=sid,
+                    parent=stack[-1].sid if stack else None,
+                    args=args,
+                )
+            )
+
+    # -- reading / shipping ----------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Snapshot of the recorded spans (oldest first)."""
+        self._fork_check()
+        with self._lock:
+            return list(self._buffer)
+
+    def drain(self) -> List[dict]:
+        """Pop every recorded span as a JSON-able dict (worker shipping)."""
+        self._fork_check()
+        with self._lock:
+            payloads = [span.to_dict() for span in self._buffer]
+            self._buffer.clear()
+        return payloads
+
+    def ingest(self, payloads: Iterable[dict]) -> int:
+        """Merge spans shipped from another process; returns the count added.
+
+        Pids, tids, span ids and parent links are preserved — a worker's
+        span tree stays intact under its own pid lane in the export.
+        """
+        self._fork_check()
+        added = 0
+        with self._lock:
+            for payload in payloads:
+                self._buffer.append(Span.from_dict(payload))
+                added += 1
+        return added
+
+    def __len__(self) -> int:
+        self._fork_check()
+        return len(self._buffer)
+
+    # -- export ----------------------------------------------------------------------
+
+    def export_jsonl(self, path: Union[str, Path]) -> int:
+        """Write one span dict per line; returns the number written."""
+        return write_jsonl(path, self.spans())
+
+    def export_chrome(self, path: Union[str, Path]) -> int:
+        """Write Chrome-trace JSON (``chrome://tracing`` / Perfetto)."""
+        return write_chrome_trace(path, self.spans())
+
+    def summary(self) -> dict:
+        """Aggregate the buffer; see :func:`summarize_spans`."""
+        return summarize_spans(self.spans())
+
+
+# -- serialization ---------------------------------------------------------------------
+
+
+def write_jsonl(path: Union[str, Path], spans: Iterable[Span]) -> int:
+    count = 0
+    with open(path, "w") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def write_chrome_trace(path: Union[str, Path], spans: Iterable[Span]) -> int:
+    """Write the Chrome trace-event format Perfetto and ``chrome://tracing`` load.
+
+    Durations map to complete (``ph: "X"``) events, instant events to
+    ``ph: "i"``.  Timestamps are microseconds relative to the earliest
+    span, so the timeline starts at zero whatever ``perf_counter``'s
+    epoch was.
+    """
+    spans = list(spans)
+    origin = min((span.start for span in spans), default=0.0)
+    events = []
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": span.category or "default",
+            "ts": (span.start - origin) * 1e6,
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": dict(span.args),
+        }
+        if span.is_event:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = span.duration * 1e6
+        events.append(event)
+    document = {_CHROME_HEADER: events, "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(document) + "\n")
+    return len(events)
+
+
+def load_trace(path: Union[str, Path]) -> List[Span]:
+    """Load spans from either export format (autodetected).
+
+    JSONL (one object per line) and Chrome-trace JSON (an object with a
+    ``traceEvents`` list, or a bare event list) both round-trip; Chrome
+    events convert back through their ``ts``/``dur`` microseconds.
+    """
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    if stripped.startswith("{") or stripped.startswith("["):
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            document = None
+        if isinstance(document, dict) and _CHROME_HEADER in document:
+            return [_span_from_chrome(event) for event in document[_CHROME_HEADER]]
+        if isinstance(document, list):
+            return [_span_from_chrome(event) for event in document]
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def _span_from_chrome(event: dict) -> Span:
+    start = float(event.get("ts", 0.0)) / 1e6
+    duration = float(event.get("dur", 0.0)) / 1e6 if event.get("ph") == "X" else 0.0
+    return Span(
+        name=event.get("name", ""),
+        category=event.get("cat", ""),
+        start=start,
+        end=start + duration,
+        pid=int(event.get("pid", 0)),
+        tid=int(event.get("tid", 0)),
+        sid=int(event.get("sid", 0)),
+        args=dict(event.get("args", {})),
+    )
+
+
+def summarize_spans(spans: Iterable[Span]) -> dict:
+    """Aggregate spans into the per-phase / per-pipeline breakdown.
+
+    ``phases`` totals span durations by category — categories *nest*
+    (a ``symbex`` span contains ``sat`` spans), so phase totals overlap
+    by design: each answers "how much wall time was inside this layer".
+    ``pipelines`` and ``elements`` key on the ``pipeline``/``element``
+    span arguments the fleet and symbex layers attach.
+    """
+    phases: Dict[str, Dict[str, float]] = {}
+    pipelines: Dict[str, float] = {}
+    elements: Dict[str, float] = {}
+    span_count = 0
+    event_count = 0
+    earliest: Optional[float] = None
+    latest: Optional[float] = None
+    for span in spans:
+        if span.is_event:
+            event_count += 1
+        else:
+            span_count += 1
+        earliest = span.start if earliest is None else min(earliest, span.start)
+        latest = span.end if latest is None else max(latest, span.end)
+        phase = phases.setdefault(
+            span.category or "default", {"count": 0, "seconds": 0.0}
+        )
+        phase["count"] += 1
+        phase["seconds"] += span.duration
+        pipeline = span.args.get("pipeline")
+        if pipeline is not None and not span.is_event:
+            pipelines[pipeline] = pipelines.get(pipeline, 0.0) + span.duration
+        element = span.args.get("element")
+        if element is not None and not span.is_event:
+            elements[element] = elements.get(element, 0.0) + span.duration
+    return {
+        "spans": span_count,
+        "events": event_count,
+        "wall_seconds": (latest - earliest) if earliest is not None else 0.0,
+        "phases": {name: phases[name] for name in sorted(phases)},
+        "pipelines": {name: pipelines[name] for name in sorted(pipelines)},
+        "elements": {name: elements[name] for name in sorted(elements)},
+    }
+
+
+# -- the process-wide active tracer ----------------------------------------------------
+
+_active: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def tracer() -> Union[Tracer, NullTracer]:
+    """The active tracer (the no-op singleton unless one was installed)."""
+    return _active
+
+
+def install(new_tracer: Optional[Union[Tracer, NullTracer]]) -> Union[Tracer, NullTracer]:
+    """Install ``new_tracer`` (``None`` disables); returns the previous one."""
+    global _active
+    previous = _active
+    _active = new_tracer if new_tracer is not None else NULL_TRACER
+    return previous
+
+
+def enable(capacity: int = DEFAULT_CAPACITY) -> Tracer:
+    """Install a fresh :class:`Tracer` if tracing is off; return the active one."""
+    global _active
+    if not isinstance(_active, Tracer):
+        _active = Tracer(capacity=capacity)
+    return _active
+
+
+class active:
+    """Scoped install: ``with obs.active(tracer): ...`` restores on exit."""
+
+    def __init__(self, new_tracer: Optional[Union[Tracer, NullTracer]]) -> None:
+        self._tracer = new_tracer
+        self._previous: Optional[Union[Tracer, NullTracer]] = None
+
+    def __enter__(self) -> Union[Tracer, NullTracer]:
+        self._previous = install(self._tracer)
+        return _active
+
+    def __exit__(self, *exc) -> bool:
+        install(self._previous)
+        return False

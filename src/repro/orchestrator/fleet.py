@@ -26,16 +26,19 @@ runs.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
 import tempfile
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..dataplane.element import Element
 from ..dataplane.fingerprint import pipeline_fingerprint
 from ..dataplane.pipeline import Pipeline
+from ..obs.stats import StatisticsMixin
+from ..obs.trace import NullTracer, Tracer, active, clock, enable, tracer
+from ..smt.qcache import QueryCacheStatistics
 from ..symbex.engine import StaticTableMode, SymbexOptions
 from ..verify.cache import SummaryCache
 from ..verify.pipeline_verifier import PipelineVerifier
@@ -47,7 +50,9 @@ from .verdicts import VerdictStore, verdict_key
 from .workers import (
     COMPUTED,
     EXPLODED,
+    drain_observability,
     job_digest,
+    merge_observability,
     merge_query_entries,
     run_tasks,
     summarize_jobs,
@@ -128,8 +133,12 @@ class PipelineCertification:
 
 
 @dataclass
-class FleetStatistics:
+class FleetStatistics(StatisticsMixin):
     """Aggregate work accounting for one fleet run."""
+
+    #: Merging two runs keeps the larger pool, not the sum — see
+    #: :attr:`repro.obs.stats.StatisticsMixin.MERGE_MAX`.
+    MERGE_MAX = ("workers",)
 
     pipelines: int = 0
     properties_checked: int = 0
@@ -237,6 +246,7 @@ def _discover_jobs(
     options: SymbexOptions,
     workers: int,
     store: SummaryStore,
+    qstats: Optional[QueryCacheStatistics] = None,
 ) -> Tuple[Dict[str, object], int, int]:
     """Breadth-first Step-1 over the whole catalog, deduplicated by digest.
 
@@ -287,7 +297,9 @@ def _discover_jobs(
         if not wave:
             break
         if batch:
-            results = summarize_jobs(batch, options, workers=workers, store=store)
+            results = summarize_jobs(
+                batch, options, workers=workers, store=store, qstats=qstats
+            )
             for digest, (status, summary, _detail) in zip(batch_digests, results):
                 if status == EXPLODED:
                     exploded.add(digest)
@@ -319,28 +331,32 @@ def _certify_one(
 ) -> PipelineCertification:
     verifier = PipelineVerifier(pipeline, options=cache.options, cache=cache)
     certification = PipelineCertification(pipeline_name=pipeline.name)
-    for target_property in properties:
-        certification.results.append(
-            verifier.verify(
-                target_property,
-                input_lengths=list(input_lengths),
-                max_counterexamples=max_counterexamples,
-                confirm_by_replay=confirm_by_replay,
+    with tracer().span("fleet.pipeline", "fleet", pipeline=pipeline.name) as span:
+        for target_property in properties:
+            certification.results.append(
+                verifier.verify(
+                    target_property,
+                    input_lengths=list(input_lengths),
+                    max_counterexamples=max_counterexamples,
+                    confirm_by_replay=confirm_by_replay,
+                )
             )
-        )
-    if with_instruction_bound:
-        certification.instruction_bound = verifier.instruction_bound(
-            input_lengths=list(input_lengths), find_witness=False
-        )
+        if with_instruction_bound:
+            certification.instruction_bound = verifier.instruction_bound(
+                input_lengths=list(input_lengths), find_witness=False
+            )
+        span.set(certified=certification.certified)
     return certification
 
 
-def _certify_worker(payload) -> Tuple[PipelineCertification, int, int, list]:
+def _certify_worker(payload) -> Tuple[PipelineCertification, int, int, list, dict]:
     """Per-pipeline Step-2 task: certify one pipeline from the shared store.
 
     The query cache is opened read-only (see
     :func:`repro.orchestrator.workers.worker_query_cache`); newly solved
-    slice entries ride back with the result for the parent to merge.
+    slice entries ride back with the result for the parent to merge, and
+    observability output (spans, slow-solve records, query-tier counters)
+    travels the same way as a fifth tuple member.
     """
     (
         pipeline,
@@ -352,6 +368,8 @@ def _certify_worker(payload) -> Tuple[PipelineCertification, int, int, list]:
         confirm_by_replay,
         with_instruction_bound,
     ) = payload
+    if options.trace:
+        enable()
     query_cache = worker_query_cache(options)
     cache = SummaryCache(options, store=SummaryStore(store_root), query_cache=query_cache)
     certification = _certify_one(
@@ -368,6 +386,7 @@ def _certify_worker(payload) -> Tuple[PipelineCertification, int, int, list]:
         cache.statistics.misses,
         cache.statistics.l2_hits,
         query_cache.new_entries if query_cache is not None else [],
+        drain_observability(query_cache),
     )
 
 
@@ -383,6 +402,7 @@ def certify_fleet(
     instruction_bounds: bool = False,
     verdict_store: Optional[Union[VerdictStore, str]] = None,
     query_store: Optional[Union[QueryStore, str]] = None,
+    trace: Union[bool, Tracer, NullTracer, None] = None,
 ) -> FleetReport:
     """Certify every pipeline in the catalog against every property.
 
@@ -411,9 +431,59 @@ def certify_fleet(
     verified (labelled :data:`FRESH`) and written back.  Verdicts are
     identical to a cold full pass: the record key covers everything a
     verdict depends on.
+
+    ``trace`` turns on span tracing (:mod:`repro.obs`) for the run:
+    ``True`` installs a fresh :class:`~repro.obs.trace.Tracer` scoped to
+    this call, or pass your own tracer to accumulate across calls.  Fork
+    workers record onto their own (inherited, pid-cleared) buffers and
+    ship their spans back with their results; the merged trace holds
+    each span exactly once, on one shared monotonic timeline.  With
+    ``trace`` unset the run inherits whatever tracer is already active —
+    usually the no-op singleton, which costs nothing.
     """
-    started = time.perf_counter()
+    if isinstance(trace, (Tracer, NullTracer)):
+        scope: contextlib.AbstractContextManager = active(trace)
+    elif trace:
+        scope = active(Tracer())
+    else:
+        scope = contextlib.nullcontext()
+    with scope:
+        return _certify_fleet(
+            pipelines,
+            properties,
+            input_lengths,
+            workers,
+            store,
+            options,
+            max_counterexamples,
+            confirm_by_replay,
+            instruction_bounds,
+            verdict_store,
+            query_store,
+        )
+
+
+def _certify_fleet(
+    pipelines: Sequence[Pipeline],
+    properties: Sequence[Property],
+    input_lengths: Sequence[int],
+    workers: int,
+    store: Optional[Union[SummaryStore, str]],
+    options: Optional[SymbexOptions],
+    max_counterexamples: int,
+    confirm_by_replay: bool,
+    instruction_bounds: bool,
+    verdict_store: Optional[Union[VerdictStore, str]],
+    query_store: Optional[Union[QueryStore, str]],
+) -> FleetReport:
+    """The certification body, running under whatever tracer is active."""
+    started = clock()
     options = options or SymbexOptions()
+    trace = tracer()
+    if trace.enabled and not options.trace:
+        # Workers learn the parent is tracing through the options they are
+        # forked with; summary/verdict store keys deliberately exclude it.
+        options = dataclasses.replace(options, trace=True)
     # More workers than cores is pure overhead (fork + store round trips
     # with no parallelism underneath: 0.87x on a 1-CPU host); clamp to
     # the machine, and one effective worker means the serial path.
@@ -471,13 +541,28 @@ def certify_fleet(
         store = SummaryStore(ephemeral.name)
 
     fresh_certifications: List[PipelineCertification] = []
+    # Fleet-wide per-tier query-cache counters: serial runs read them off
+    # the shared cache, parallel runs fold in what each worker shipped.
+    fleet_qstats = QueryCacheStatistics()
     try:
         if workers > 1 and fresh_pipelines:
             assert store is not None
             # Step 1: catalog-wide deduplicated summarization into the store.
+            step1_started = clock()
             summaries, computed, loaded = _discover_jobs(
-                fresh_pipelines, input_lengths, options, workers, store
+                fresh_pipelines, input_lengths, options, workers, store,
+                qstats=fleet_qstats,
             )
+            if trace.enabled:
+                trace.record_span(
+                    "fleet.summarize",
+                    "fleet",
+                    step1_started,
+                    clock(),
+                    jobs=len(summaries),
+                    computed=computed,
+                    loaded=loaded,
+                )
             report.statistics.distinct_summary_jobs = len(summaries)
             report.statistics.summaries_computed = computed
             report.statistics.store_hits = loaded
@@ -502,7 +587,7 @@ def certify_fleet(
                 for pipeline in fresh_pipelines
             ]
             shipped_entries: List[tuple] = []
-            for certification, misses, l2_hits, query_entries in run_tasks(
+            for certification, misses, l2_hits, query_entries, extras in run_tasks(
                 _certify_worker, payloads, workers=workers
             ):
                 fresh_certifications.append(certification)
@@ -513,6 +598,7 @@ def certify_fleet(
                 report.statistics.summaries_computed += misses
                 report.statistics.step2_store_loads += l2_hits
                 shipped_entries.extend(query_entries)
+                merge_observability(extras, fleet_qstats)
             merge_query_entries(options.query_cache_dir, shipped_entries)
         elif fresh_pipelines:
             # Serial: one shared cache dedupes across the catalog in-process
@@ -533,6 +619,8 @@ def certify_fleet(
             report.statistics.distinct_summary_jobs = cache.statistics.entries
             report.statistics.summaries_computed = cache.statistics.misses
             report.statistics.store_hits = cache.statistics.l2_hits
+            if cache.query_cache is not None:
+                fleet_qstats.merge(cache.query_cache.statistics)
     finally:
         if ephemeral is not None:
             ephemeral.cleanup()
@@ -563,5 +651,22 @@ def certify_fleet(
             report.statistics.qcache_hits += (
                 certification.instruction_bound.statistics.qcache_hits
             )
-    report.statistics.elapsed_seconds = time.perf_counter() - started
+    if query_store is not None and (fleet_qstats.checks or fleet_qstats.slices):
+        # Persist the per-tier counters so hit rates accumulate across
+        # runs (`repro store stats` reads them back).
+        query_store.record_metrics(fleet_qstats.to_dict())
+    ended = clock()
+    report.statistics.elapsed_seconds = ended - started
+    if trace.enabled:
+        trace.record_span(
+            "fleet.certify",
+            "fleet",
+            started,
+            ended,
+            pipelines=len(pipelines),
+            properties=len(properties),
+            workers=workers,
+            fresh=report.statistics.verdicts_fresh,
+            reused=report.statistics.verdicts_reused,
+        )
     return report

@@ -40,6 +40,7 @@ from ..dataplane.fingerprint import (
     wiring_fingerprint,
 )
 from ..dataplane.pipeline import Pipeline
+from ..obs.trace import NullTracer, Tracer
 from ..symbex.engine import StaticTableMode, SymbexOptions
 from ..verify.properties import Property
 from .errors import OrchestratorError
@@ -323,6 +324,7 @@ def recertify(
     confirm_by_replay: bool = True,
     instruction_bounds: bool = False,
     query_store: Optional[Union[QueryStore, str]] = None,
+    trace: Union[bool, Tracer, NullTracer, None] = None,
 ) -> RecertificationReport:
     """Re-certify a catalog, doing work proportional to what changed.
 
@@ -350,6 +352,7 @@ def recertify(
         instruction_bounds=instruction_bounds,
         verdict_store=verdict_store,
         query_store=query_store,
+        trace=trace,
     )
     for certification in report.certifications:
         pipeline_impact = impact.by_name(certification.pipeline_name) if impact else None

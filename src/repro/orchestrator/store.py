@@ -30,12 +30,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from ..dataplane.element import Element
+from ..obs.stats import StatisticsMixin
+from ..obs.trace import clock, wall_clock
 from ..dataplane.fingerprint import configuration_fingerprint, program_fingerprint
 from ..symbex.engine import StaticTableMode, SymbexOptions
 from ..symbex.segment import ElementSummary
@@ -86,8 +87,13 @@ def summary_key(element: Element, input_length: int, options: SymbexOptions) -> 
 
 
 @dataclass
-class StoreStatistics:
-    """Disk-tier traffic counters."""
+class StoreStatistics(StatisticsMixin):
+    """Disk-tier traffic counters.
+
+    ``io_seconds`` is measured with the monotonic :func:`repro.obs.clock`
+    like every other duration in the repo — wall clock appears in this
+    module only where file mtimes force it (:meth:`JsonFileStore.gc`).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -95,6 +101,7 @@ class StoreStatistics:
     corrupt_entries: int = 0
     quarantined: int = 0
     bytes_written: int = 0
+    io_seconds: float = 0.0
 
 
 @dataclass
@@ -145,6 +152,7 @@ class JsonFileStore:
         read every night never loses its warm entries to eviction.
         """
         path = self._path(digest)
+        started = clock()
         try:
             text = path.read_text()
         except FileNotFoundError:
@@ -156,11 +164,13 @@ class JsonFileStore:
             os.utime(path, None)
         except OSError:  # pragma: no cover - racing removal: entry already gone
             pass
+        self.statistics.io_seconds += clock() - started
         return text
 
     def write_entry(self, digest: str, text: str) -> None:
         """Atomically persist an entry (temp file + rename; safe across processes)."""
         path = self._path(digest)
+        started = clock()
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             temp = path.parent / f".{digest}.{os.getpid()}.tmp"
@@ -170,6 +180,7 @@ class JsonFileStore:
             raise StoreError(f"cannot write {self.kind} entry {path}: {exc}") from exc
         self.statistics.puts += 1
         self.statistics.bytes_written += len(text)
+        self.statistics.io_seconds += clock() - started
 
     def quarantine_entry(self, digest: str) -> None:
         """Move a corrupt entry aside so warm runs stop re-parsing garbage.
@@ -218,7 +229,10 @@ class JsonFileStore:
         cache, so eviction costs recomputation, never correctness.
         """
         result = GcResult()
-        now = time.time()
+        # The one legitimate wall-clock read in the store layer: the age
+        # horizon compares against file *mtimes*, which are wall-clock
+        # timestamps — perf_counter has no defined epoch to compare them to.
+        now = wall_clock()
         for path in self.root.glob(f"??/*{_QUARANTINE_SUFFIX}"):
             result.bytes_freed += _size_of(path)
             path.unlink(missing_ok=True)
@@ -343,3 +357,42 @@ class QueryStore(JsonFileStore):
 
     def save_payload(self, digest: str, payload: dict) -> None:
         self.write_entry(digest, json.dumps(payload, sort_keys=True, separators=(",", ":")))
+
+    # -- persisted tier metrics ------------------------------------------------------
+
+    #: Sidecar holding cumulative :class:`repro.smt.qcache.QueryCacheStatistics`
+    #: counters across every run that used this store — what lets
+    #: ``repro store stats`` report tier hit *rates*, not just entry counts.
+    _METRICS_NAME = "metrics.json"
+
+    def load_metrics(self) -> dict:
+        """The accumulated tier counters, or ``{}`` when none were recorded."""
+        path = self.root / self._METRICS_NAME
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    def record_metrics(self, counters: dict) -> dict:
+        """Fold one run's tier counters into the sidecar; returns the new totals.
+
+        Numeric values key-sum into the stored ones (the sidecar is
+        cumulative across runs); the write is atomic like every entry
+        write, so concurrent recorders lose at worst one run's increment,
+        never the file.
+        """
+        totals = self.load_metrics()
+        for key, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            totals[key] = totals.get(key, 0) + value
+        totals["runs"] = int(totals.get("runs", 0)) + 1
+        path = self.root / self._METRICS_NAME
+        temp = self.root / f".{self._METRICS_NAME}.{os.getpid()}.tmp"
+        try:
+            temp.write_text(json.dumps(totals, sort_keys=True))
+            os.replace(temp, path)
+        except OSError as exc:
+            raise StoreError(f"cannot write {self.kind} metrics {path}: {exc}") from exc
+        return totals

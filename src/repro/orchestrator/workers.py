@@ -25,7 +25,9 @@ import multiprocessing
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from ..dataplane.element import Element
-from ..smt.qcache import QueryCache, build_query_cache
+from ..obs.slowlog import slow_solve_log
+from ..obs.trace import enable, tracer
+from ..smt.qcache import QueryCache, QueryCacheStatistics, build_query_cache
 from ..symbex.engine import SymbexOptions, SymbolicEngine
 from ..symbex.errors import PathExplosionError
 from ..symbex.segment import ElementSummary
@@ -107,6 +109,59 @@ def merge_query_entries(
             store.save_payload(digest, payload)
 
 
+def drain_observability(query_cache: Optional[QueryCache] = None) -> dict:
+    """Collect this process's observability output for shipping to a parent.
+
+    Returns a JSON-able dict with up to three keys: ``spans`` (the
+    tracer's drained ring buffer), ``slow`` (drained slow-solve records)
+    and ``qstats`` (the worker query cache's per-tier counters).  Keys
+    are omitted when empty, so a disabled run ships ``{}`` — the merged
+    result payload gains no observability weight unless something was
+    observed.  Fork workers call this right before returning; the spans
+    travel back with the result exactly like L3 query-store entries do.
+    """
+    extras: dict = {}
+    trace = tracer()
+    if trace.enabled:
+        spans = trace.drain()
+        if spans:
+            extras["spans"] = spans
+    slow = slow_solve_log().drain()
+    if slow:
+        extras["slow"] = slow
+    if query_cache is not None:
+        stats = query_cache.statistics.to_dict()
+        if any(stats.values()):
+            extras["qstats"] = stats
+    return extras
+
+
+def merge_observability(
+    extras: Optional[dict], qstats: Optional[QueryCacheStatistics] = None
+) -> None:
+    """Fold a worker's :func:`drain_observability` payload into this process.
+
+    Spans land in the active tracer (dropped when tracing is off here),
+    slow records append to the process slow log, and the per-tier query
+    counters merge into ``qstats`` when an accumulator is provided.  The
+    degenerate in-process case (``run_tasks`` with one worker) drains and
+    re-ingests the same buffers, which only repositions entries.
+    """
+    if not extras:
+        return
+    trace = tracer()
+    spans = extras.get("spans")
+    if spans and trace.enabled:
+        trace.ingest(spans)
+    slow = extras.get("slow")
+    if slow:
+        log = slow_solve_log()
+        for record in slow:
+            log.add(record)
+    if qstats is not None and extras.get("qstats"):
+        qstats.merge(QueryCacheStatistics.from_dict(extras["qstats"]))
+
+
 #: (sat_core_calls, qcache_hits) a worker performed for one job.  The
 #: counters are runtime accounting and deliberately not serialized with
 #: the summary, so they travel alongside it and are restored on arrival —
@@ -116,18 +171,21 @@ WorkerWork = Tuple[int, int]
 
 def _summarize_worker(
     payload: Tuple[Element, int, SymbexOptions, Optional[str]],
-) -> Tuple[str, str, List[Tuple[str, dict]], WorkerWork]:
+) -> Tuple[str, str, List[Tuple[str, dict]], WorkerWork, dict]:
     """Compute (or fetch) one summary.
 
     Returns (status, serialized summary | message, new query-cache
-    entries the parent should merge, solver work performed).
+    entries the parent should merge, solver work performed, drained
+    observability extras — see :func:`drain_observability`).
     """
     element, input_length, options, store_root = payload
+    if options.trace:
+        enable()
     store = SummaryStore(store_root) if store_root is not None else None
     if store is not None:
         stored = store.load(element, input_length, options)
         if stored is not None:
-            return LOADED, dumps_summary(stored), [], (0, 0)
+            return LOADED, dumps_summary(stored), [], (0, 0), {}
     query_cache = worker_query_cache(options)
     engine = SymbolicEngine(options, query_cache=query_cache)
     try:
@@ -141,7 +199,13 @@ def _summarize_worker(
     except PathExplosionError as exc:
         # A blown budget yields no summary; its partial solver work is
         # uncounted, matching the serial path (which raises the same way).
-        return EXPLODED, str(exc), query_cache.new_entries if query_cache else [], (0, 0)
+        return (
+            EXPLODED,
+            str(exc),
+            query_cache.new_entries if query_cache else [],
+            (0, 0),
+            drain_observability(query_cache),
+        )
     if store is not None:
         store.save(element, input_length, options, summary)
     return (
@@ -149,6 +213,7 @@ def _summarize_worker(
         dumps_summary(summary),
         query_cache.new_entries if query_cache else [],
         (summary.sat_core_calls, summary.qcache_hits),
+        drain_observability(query_cache),
     )
 
 
@@ -157,6 +222,7 @@ def summarize_jobs(
     options: SymbexOptions,
     workers: int = 1,
     store: Optional[Union[SummaryStore, str]] = None,
+    qstats: Optional[QueryCacheStatistics] = None,
 ) -> List[Tuple[str, Optional[ElementSummary], str]]:
     """Summarize every (element, input length) job, sharded across processes.
 
@@ -165,6 +231,10 @@ def summarize_jobs(
     execution, which is how callers count real work), or :data:`EXPLODED`
     (summary is ``None`` and detail carries the budget message).  Loaded
     summaries are re-interned into the calling process's term table.
+
+    Worker observability (spans, slow-solve records) merges into this
+    process's tracer and slow log; per-tier query-cache counters fold
+    into ``qstats`` when an accumulator is passed.
     """
     store_root = None
     if store is not None:
@@ -173,10 +243,11 @@ def summarize_jobs(
     results = run_tasks(_summarize_worker, payloads, workers=workers)
     merge_query_entries(
         options.query_cache_dir,
-        [entry for _status, _text, entries, _work in results for entry in entries],
+        [entry for _status, _text, entries, _work, _extras in results for entry in entries],
     )
     merged: List[Tuple[str, Optional[ElementSummary], str]] = []
-    for status, text, _entries, work in results:
+    for status, text, _entries, work, extras in results:
+        merge_observability(extras, qstats)
         if status == EXPLODED:
             merged.append((status, None, text))
             continue

@@ -32,10 +32,11 @@ enough for it to succeed where whole conjunctions are not.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.stats import StatisticsMixin
+from ..obs.trace import clock
 from .backend import make_sat_solver
 from .bitblast import BitBlaster
 from .cnf import CNFBuilder
@@ -50,7 +51,7 @@ from .terms import Term, intern_term, mk_and
 
 
 @dataclass
-class ContextStatistics:
+class ContextStatistics(StatisticsMixin):
     """Counters describing the work of one :class:`SolverContext`."""
 
     checks: int = 0
@@ -76,24 +77,9 @@ class ContextStatistics:
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
 
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "checks": self.checks,
-            "sat": self.sat,
-            "unsat": self.unsat,
-            "unknown": self.unknown,
-            "terms_encoded": self.terms_encoded,
-            "literals_reused": self.literals_reused,
-            "sat_core_calls": self.sat_core_calls,
-            "slices_solved": self.slices_solved,
-            "quick_check_hits": self.quick_check_hits,
-            "qcache_hits": self.qcache_hits,
-            "sat_conflicts": self.sat_conflicts,
-            "sat_decisions": self.sat_decisions,
-            "learned_clauses": self.learned_clauses,
-            "encode_seconds": self.encode_seconds,
-            "solve_seconds": self.solve_seconds,
-        }
+    #: ``learned_clauses`` is a gauge of the persistent core's clause
+    #: database, not a per-run delta — merging takes the larger database.
+    MERGE_MAX = ("learned_clauses",)
 
 
 class SolverContext:
@@ -171,7 +157,7 @@ class SolverContext:
         are encoded (and their encodings retained for reuse) but never
         asserted.
         """
-        started = time.perf_counter()
+        started = clock()
         self.statistics.checks += 1
         self._model = None
 
@@ -188,14 +174,14 @@ class SolverContext:
                 trivially_unsat = True
                 break
             literals.append(self._literal(reduced))
-        self.statistics.encode_seconds += time.perf_counter() - started
+        self.statistics.encode_seconds += clock() - started
 
         if trivially_unsat:
             return self._finish(CheckResult.UNSAT)
 
-        solve_started = time.perf_counter()
+        solve_started = clock()
         status, model = self._solve_assumptions(literals)
-        self.statistics.solve_seconds += time.perf_counter() - solve_started
+        self.statistics.solve_seconds += clock() - solve_started
         self._model = model
         return self._finish(status)
 
@@ -213,16 +199,16 @@ class SolverContext:
             if reduced.is_true():
                 continue
             if reduced.is_false():
-                self.statistics.encode_seconds += time.perf_counter() - started
+                self.statistics.encode_seconds += clock() - started
                 return self._finish(CheckResult.UNSAT)
             terms.append(intern_term(reduced))
-        self.statistics.encode_seconds += time.perf_counter() - started
+        self.statistics.encode_seconds += clock() - started
 
-        solve_started = time.perf_counter()
+        solve_started = clock()
         hits_before = self.query_cache.statistics.hits
         status, model = self.query_cache.check(terms, self._solve_slice)
         self.statistics.qcache_hits += self.query_cache.statistics.hits - hits_before
-        self.statistics.solve_seconds += time.perf_counter() - solve_started
+        self.statistics.solve_seconds += clock() - solve_started
         if status == CheckResult.SAT:
             self._model = model if model is not None else Model({})
         return self._finish(status)

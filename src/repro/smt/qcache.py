@@ -50,6 +50,9 @@ from typing import (
     Tuple,
 )
 
+from ..obs.slowlog import slice_context
+from ..obs.stats import StatisticsMixin
+from ..obs.trace import tracer
 from .interval import QuickCheckResult, quick_check
 from .model import Model
 from .slicing import Slice, partition
@@ -128,7 +131,7 @@ def slice_fingerprint(terms: Sequence[Term]) -> str:
 
 
 @dataclass
-class QueryCacheStatistics:
+class QueryCacheStatistics(StatisticsMixin):
     """Per-tier traffic counters for one :class:`QueryCache`."""
 
     checks: int = 0
@@ -153,21 +156,6 @@ class QueryCacheStatistics:
             + self.model_reuse_hits
             + self.l3_hits
         )
-
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "checks": self.checks,
-            "slices": self.slices,
-            "exact_hits": self.exact_hits,
-            "unsat_core_hits": self.unsat_core_hits,
-            "superset_sat_hits": self.superset_sat_hits,
-            "model_reuse_hits": self.model_reuse_hits,
-            "l3_hits": self.l3_hits,
-            "l3_stores": self.l3_stores,
-            "solved": self.solved,
-            "unknown_results": self.unknown_results,
-            "minimization_tests": self.minimization_tests,
-        }
 
 
 @dataclass
@@ -280,10 +268,13 @@ class QueryCache:
     def _check_slice(self, query_slice: Slice, solve: SolveFn) -> Tuple[str, Optional[Model]]:
         key = query_slice.key
         key_set = frozenset(key)
+        trace = tracer()
 
         entry = self._exact.get(key)
         if entry is not None:
             self.statistics.exact_hits += 1
+            if trace.enabled:
+                trace.event("qcache.hit", "qcache", tier="exact")
             return entry.status, entry.model
 
         # A known unsat core contained in the query refutes it.  Cores are
@@ -292,6 +283,8 @@ class QueryCache:
             for core in self._cores_by_uid.get(uid, ()):
                 if core <= key_set:
                     self.statistics.unsat_core_hits += 1
+                    if trace.enabled:
+                        trace.event("qcache.hit", "qcache", tier="unsat_core")
                     self._install(query_slice, UNSAT, None, core=core)
                     return UNSAT, None
 
@@ -300,6 +293,8 @@ class QueryCache:
         for entry in self._sat_by_uid.get(key[0], ()):
             if key_set <= entry.key_set:
                 self.statistics.superset_sat_hits += 1
+                if trace.enabled:
+                    trace.event("qcache.hit", "qcache", tier="superset_sat")
                 model = _restrict(entry.model, query_slice.variables)
                 self._install(query_slice, SAT, model)
                 return SAT, model
@@ -313,6 +308,8 @@ class QueryCache:
         for model in self._candidate_models(query_slice):
             if all(model.satisfies(term) for term in query_slice.terms):
                 self.statistics.model_reuse_hits += 1
+                if trace.enabled:
+                    trace.event("qcache.hit", "qcache", tier="model_reuse")
                 restricted = _restrict(model, query_slice.variables)
                 self._install(query_slice, SAT, restricted)
                 return SAT, restricted
@@ -322,9 +319,16 @@ class QueryCache:
             digest = slice_fingerprint(query_slice.terms)
             loaded = self._load_persisted(query_slice, digest)
             if loaded is not None:
+                if trace.enabled:
+                    trace.event("qcache.hit", "qcache", tier="l3")
                 return loaded
 
-        status, model = solve(query_slice.terms)
+        if trace.enabled:
+            trace.event("qcache.miss", "qcache", slice_terms=len(query_slice.terms))
+        # Park a lazy fingerprint for the slow-solve log: computed only if
+        # the solve below actually crosses the threshold.
+        with slice_context(lambda: digest or slice_fingerprint(query_slice.terms)):
+            status, model = solve(query_slice.terms)
         self.statistics.solved += 1
         if status == UNKNOWN:
             # Budget artifact, not a fact about the slice: never cached.

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from ..obs.slowlog import sat_observer
+
 UNASSIGNED = 0
 TRUE = 1
 FALSE = -1
@@ -162,6 +164,27 @@ class SATSolver:
         *this* call: on a persistent solver the conflicts of earlier queries
         do not count against it.
         """
+        observer = sat_observer("reference")
+        if observer is None:
+            return self._solve(assumptions, max_conflicts)
+        conflicts = self.conflicts
+        decisions = self.decisions
+        restarts = self.restarts
+        result = self._solve(assumptions, max_conflicts)
+        observer.finish(
+            result,
+            self.conflicts - conflicts,
+            self.decisions - decisions,
+            self.restarts - restarts,
+            assumptions=len(assumptions),
+        )
+        return result
+
+    def _solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> str:
         if not self._ok:
             return SatResult.UNSAT
         self._backtrack(0)

@@ -57,6 +57,7 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.slowlog import sat_observer
 from .sat import RESTART_BASE, SatResult, luby
 
 try:  # numpy accelerates model extraction only; the solver runs without it.
@@ -261,6 +262,27 @@ class ArraySolver:
         Same contract as the reference core: ``UNKNOWN`` only on budget
         exhaustion; the budget covers this call only.
         """
+        observer = sat_observer("array")
+        if observer is None:
+            return self._solve(assumptions, max_conflicts)
+        conflicts = self.conflicts
+        decisions = self.decisions
+        restarts = self.restarts
+        result = self._solve(assumptions, max_conflicts)
+        observer.finish(
+            result,
+            self.conflicts - conflicts,
+            self.decisions - decisions,
+            self.restarts - restarts,
+            assumptions=len(assumptions),
+        )
+        return result
+
+    def _solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: Optional[int] = None,
+    ) -> str:
         if not self._ok:
             return SatResult.UNSAT
         assumption_codes = [

@@ -18,10 +18,11 @@ variable-independent parts and reuse per-slice verdicts across queries.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+from ..obs.stats import StatisticsMixin
+from ..obs.trace import clock
 from .backend import make_sat_solver
 from .bitblast import BitBlaster
 from .builder import And
@@ -46,7 +47,7 @@ class CheckResult:
 
 
 @dataclass
-class SolverStatistics:
+class SolverStatistics(StatisticsMixin):
     """Counters describing the work a solver instance has performed."""
 
     checks: int = 0
@@ -63,21 +64,6 @@ class SolverStatistics:
     sat_conflicts: int = 0
     sat_decisions: int = 0
     total_time: float = 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "checks": self.checks,
-            "sat": self.sat,
-            "unsat": self.unsat,
-            "unknown": self.unknown,
-            "quick_check_hits": self.quick_check_hits,
-            "cache_hits": self.cache_hits,
-            "sat_core_calls": self.sat_core_calls,
-            "qcache_hits": self.qcache_hits,
-            "sat_conflicts": self.sat_conflicts,
-            "sat_decisions": self.sat_decisions,
-            "total_time": self.total_time,
-        }
 
 
 @dataclass
@@ -153,7 +139,7 @@ class Solver:
 
     def check(self, *extra: Term) -> str:
         """Decide satisfiability of the asserted constraints plus ``extra``."""
-        started = time.perf_counter()
+        started = clock()
         self.statistics.checks += 1
         self._model = None
 
@@ -166,7 +152,7 @@ class Solver:
                 self.statistics.cache_hits += 1
                 self._model = cached.model
                 self._count(cached.status)
-                self.statistics.total_time += time.perf_counter() - started
+                self.statistics.total_time += clock() - started
                 return cached.status
 
         if self._query_cache is not None and not goal.is_true() and not goal.is_false():
@@ -182,7 +168,7 @@ class Solver:
         if self._enable_cache:
             self._cache[key] = _CachedAnswer(status, model, goal)
         self._count(status)
-        self.statistics.total_time += time.perf_counter() - started
+        self.statistics.total_time += clock() - started
         return status
 
     def is_satisfiable(self, *extra: Term) -> bool:

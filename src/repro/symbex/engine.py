@@ -13,11 +13,11 @@ crash segment guarded by the condition that triggers them.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import smt
+from ..obs.trace import clock, tracer
 from ..smt import Term
 from ..ir.exprs import (
     BinOp,
@@ -99,6 +99,10 @@ class SymbexOptions:
     #: DIMACS solver).  Backends are differentially tested to agree, so —
     #: like the caches — this is excluded from summary/verdict store keys.
     sat_backend: Optional[str] = None
+    #: Enable span tracing (:mod:`repro.obs`) in whatever process runs the
+    #: engine — how fork workers learn the parent is tracing.  Purely
+    #: observational, so it is excluded from summary/verdict store keys.
+    trace: bool = False
 
 
 class SymbolicEngine:
@@ -114,6 +118,12 @@ class SymbolicEngine:
         (the :class:`repro.verify.cache.SummaryCache` passes its own);
         standalone engines build one from the options."""
         self.options = options or SymbexOptions()
+        if self.options.trace:
+            # Idempotent: how a fork worker (whose parent set the flag on
+            # the shipped options) turns tracing on in its own process.
+            from ..obs.trace import enable
+
+            enable()
         self.solver = solver if solver is not None else smt.Solver(
             max_conflicts=self.options.solver_max_conflicts,
             sat_backend=self.options.sat_backend,
@@ -154,7 +164,7 @@ class SymbolicEngine:
         upstream path condition into the next element.
         """
         if self.options.max_seconds is not None and self._deadline is None:
-            self._deadline = time.perf_counter() + self.options.max_seconds
+            self._deadline = clock() + self.options.max_seconds
         self._tables = tables or {}
         self._program = program
         root = PathState(packet=packet)
@@ -181,7 +191,7 @@ class SymbolicEngine:
         configuration_key: str = "",
     ) -> ElementSummary:
         """Step-1 primitive: symbex an element on a fresh symbolic packet and summarise it."""
-        started = time.perf_counter()
+        started = clock()
         query_cache = self.checker.query_cache if self.checker is not None else None
         qcache_hits_before = query_cache.statistics.hits if query_cache is not None else 0
         sat_core_before = (
@@ -213,7 +223,20 @@ class SymbolicEngine:
             if query_cache is not None
             else 0
         )
-        summary.elapsed_seconds = time.perf_counter() - started
+        summary.elapsed_seconds = clock() - started
+        trace = tracer()
+        if trace.enabled:
+            trace.record_span(
+                "symbex.element",
+                "symbex",
+                started,
+                started + summary.elapsed_seconds,
+                element=name,
+                input_length=input_length,
+                segments=len(summary.segments),
+                paths=summary.paths_explored,
+                sat_core_calls=summary.sat_core_calls,
+            )
         return summary
 
     # -- block / statement execution -------------------------------------------------------
@@ -237,7 +260,7 @@ class SymbolicEngine:
                 f"path budget of {self.options.max_paths} paths exceeded "
                 f"({len(states)} live paths)"
             )
-        if self._deadline is not None and time.perf_counter() > self._deadline:
+        if self._deadline is not None and clock() > self._deadline:
             raise PathExplosionError(
                 f"time budget of {self.options.max_seconds} seconds exceeded"
             )

@@ -15,11 +15,12 @@ element symbolically.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from .. import smt
+from ..obs.stats import StatisticsMixin
+from ..obs.trace import clock, tracer
 from ..dataplane.element import Element
 from ..dataplane.fingerprint import configuration_fingerprint
 from ..symbex.engine import StaticTableMode, SymbexOptions, SymbolicEngine
@@ -27,7 +28,7 @@ from ..symbex.segment import ElementSummary
 
 
 @dataclass
-class CacheStatistics:
+class CacheStatistics(StatisticsMixin):
     """Traffic counters for the tiered summary cache.
 
     ``l1_hits`` were answered from the in-process dict, ``l2_hits`` from
@@ -91,18 +92,25 @@ class SummaryCache:
         """Return the element's summary for the given input length, computing it if needed."""
         mode = self.options.static_table_mode
         key = self._key(element, input_length)
+        trace = tracer()
         cached = self._summaries.get(key)
         if cached is not None:
             self.statistics.l1_hits += 1
+            if trace.enabled:
+                trace.event("cache.hit", "cache", tier="l1", element=element.name)
             return cached
         if self.store is not None:
             stored = self.store.load(element, input_length, self.options)
             if stored is not None:
                 self.statistics.l2_hits += 1
+                if trace.enabled:
+                    trace.event("cache.hit", "cache", tier="l2", element=element.name)
                 self._insert(key, stored)
                 return stored
         self.statistics.misses += 1
-        started = time.perf_counter()
+        if trace.enabled:
+            trace.event("cache.miss", "cache", element=element.name)
+        started = clock()
         engine = SymbolicEngine(self.options, query_cache=self.query_cache)
         summary = engine.summarize_element(
             element.program,
@@ -111,7 +119,7 @@ class SummaryCache:
             element_name=element.name,
             configuration_key=element.configuration_key(),
         )
-        self.statistics.seconds_spent_summarizing += time.perf_counter() - started
+        self.statistics.seconds_spent_summarizing += clock() - started
         self._insert(key, summary)
         if self.store is not None:
             self.store.save(element, input_length, self.options, summary)

@@ -12,11 +12,11 @@ within 12 hours" data point as a ``budget exceeded`` verdict.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .. import smt
+from ..obs.trace import clock
 from ..dataplane.element import Element
 from ..dataplane.pipeline import Pipeline
 from ..symbex.engine import SymbexOptions, SymbolicEngine
@@ -68,7 +68,7 @@ class MonolithicVerifier:
         max_counterexamples: int = 3,
     ) -> VerificationResult:
         """Explore every pipeline path under a symbolic packet; classify terminal paths."""
-        started = time.perf_counter()
+        started = clock()
         statistics = MonolithicStatistics()
         counterexamples: List[Counterexample] = []
         verdict = Verdict.PROVED
@@ -81,7 +81,7 @@ class MonolithicVerifier:
         terminal_paths: List[Tuple[Element, PathState, List[str]]] = []
 
         def explore(element: Element, packet: SymbolicPacket, constraints, metadata, trail: List[str]) -> None:
-            if deadline is not None and time.perf_counter() > deadline:
+            if deadline is not None and clock() > deadline:
                 raise PathExplosionError(
                     f"monolithic exploration exceeded {self.options.max_seconds} seconds"
                 )
@@ -129,7 +129,7 @@ class MonolithicVerifier:
             incremental=engine.checker is not None,
             memo_hits=engine.checker.memo_hits if engine.checker else 0,
         )
-        statistics.elapsed_seconds = time.perf_counter() - started
+        statistics.elapsed_seconds = clock() - started
         return VerificationResult(
             property_name=target_property.describe(),
             pipeline_name=self.pipeline.name,

@@ -12,13 +12,13 @@ replayed on the concrete dataplane to confirm it.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..dataplane.driver import PipelineDriver
 from ..dataplane.element import Element
 from ..dataplane.pipeline import Pipeline
 from ..ir.interpreter import Outcome
+from ..obs.trace import clock, tracer
 from ..symbex.engine import SymbexOptions
 from ..symbex.errors import PathExplosionError
 from ..symbex.segment import ElementSummary, SegmentSummary
@@ -178,7 +178,7 @@ class PipelineVerifier:
         confirm_by_replay: bool = True,
     ) -> VerificationResult:
         """Prove or refute ``target_property`` for every packet of the given lengths."""
-        started = time.perf_counter()
+        started = clock()
         statistics = VerificationStatistics()
         counterexamples: List[Counterexample] = []
         verdict = Verdict.PROVED
@@ -268,7 +268,20 @@ class PipelineVerifier:
         statistics.qcache_hits += qcache_after - qcache_before
         statistics.slices_solved += slices_after - slices_before
         statistics.summary_cache_hits = self.cache.statistics.hits
-        statistics.elapsed_seconds = time.perf_counter() - started
+        statistics.elapsed_seconds = clock() - started
+        trace = tracer()
+        if trace.enabled:
+            trace.record_span(
+                "verify.property",
+                "verify",
+                started,
+                started + statistics.elapsed_seconds,
+                pipeline=self.pipeline.name,
+                property=target_property.describe(),
+                verdict=verdict,
+                solver_checks=statistics.solver_checks,
+                sat_core_calls=statistics.sat_core_calls,
+            )
         return VerificationResult(
             property_name=target_property.describe(),
             pipeline_name=self.pipeline.name,
@@ -296,7 +309,7 @@ class PipelineVerifier:
         packet that attains the bound (the paper reports both the ~3600
         instruction bound and the packet that yields it).
         """
-        started = time.perf_counter()
+        started = clock()
         statistics = VerificationStatistics()
         core_before, qcache_before, slices_before = self._composer_work()
         best_total = 0
@@ -332,7 +345,17 @@ class PipelineVerifier:
         statistics.qcache_hits += qcache_after - qcache_before
         statistics.slices_solved += slices_after - slices_before
         statistics.summary_cache_hits = self.cache.statistics.hits
-        statistics.elapsed_seconds = time.perf_counter() - started
+        statistics.elapsed_seconds = clock() - started
+        trace = tracer()
+        if trace.enabled:
+            trace.record_span(
+                "verify.instruction_bound",
+                "verify",
+                started,
+                started + statistics.elapsed_seconds,
+                pipeline=self.pipeline.name,
+                bound=best_total,
+            )
         return InstructionBoundResult(
             pipeline_name=self.pipeline.name,
             input_lengths=tuple(input_lengths),

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.stats import StatisticsMixin
+
 
 class Verdict:
     """Possible outcomes of a verification run."""
@@ -68,7 +70,7 @@ class Counterexample:
 
 
 @dataclass
-class VerificationStatistics:
+class VerificationStatistics(StatisticsMixin):
     """Work performed during one verification run.
 
     ``solver_checks`` counts every feasibility/satisfiability question the
@@ -118,53 +120,6 @@ class VerificationStatistics:
         else:
             self.scratch_solver_checks += checks
         self.feasibility_memo_hits += memo_hits
-
-    def to_dict(self) -> dict:
-        return {
-            "elements_analyzed": self.elements_analyzed,
-            "segments_total": self.segments_total,
-            "suspect_segments": self.suspect_segments,
-            "composed_paths_checked": self.composed_paths_checked,
-            "composed_paths_feasible": self.composed_paths_feasible,
-            "solver_checks": self.solver_checks,
-            "incremental_solver_checks": self.incremental_solver_checks,
-            "scratch_solver_checks": self.scratch_solver_checks,
-            "feasibility_memo_hits": self.feasibility_memo_hits,
-            "sat_core_calls": self.sat_core_calls,
-            "qcache_hits": self.qcache_hits,
-            "slices_solved": self.slices_solved,
-            "summary_cache_hits": self.summary_cache_hits,
-            "elapsed_seconds": self.elapsed_seconds,
-            "per_element_segments": dict(self.per_element_segments),
-            "per_element_seconds": dict(self.per_element_seconds),
-            "budget_exceeded": self.budget_exceeded,
-        }
-
-    @classmethod
-    def from_dict(cls, payload: dict) -> "VerificationStatistics":
-        statistics = cls()
-        for name in (
-            "elements_analyzed",
-            "segments_total",
-            "suspect_segments",
-            "composed_paths_checked",
-            "composed_paths_feasible",
-            "solver_checks",
-            "incremental_solver_checks",
-            "scratch_solver_checks",
-            "feasibility_memo_hits",
-            "sat_core_calls",
-            "qcache_hits",
-            "slices_solved",
-            "summary_cache_hits",
-            "elapsed_seconds",
-            "budget_exceeded",
-        ):
-            if name in payload:
-                setattr(statistics, name, payload[name])
-        statistics.per_element_segments = dict(payload.get("per_element_segments", {}))
-        statistics.per_element_seconds = dict(payload.get("per_element_seconds", {}))
-        return statistics
 
 
 @dataclass

@@ -347,14 +347,14 @@ class TestEngineAndFleetWiring:
             fleet_catalog(1)[0], [CrashFreedom()], (24,), options,
             str(tmp_path / "summaries"), 3, True, False,
         )
-        certification, _misses, _l2_hits, entries = _certify_worker(payload)
+        certification, _misses, _l2_hits, entries, _extras = _certify_worker(payload)
         assert certification.certified
         assert entries  # solved slices that could not be written in-fork
         assert len(QueryStore(tmp_path / "queries")) == 0
         merge_query_entries(str(tmp_path / "queries"), entries)
         assert len(QueryStore(tmp_path / "queries")) > 0
         # A second worker over the merged store solves nothing new.
-        _cert, _m, _l, warm_entries = _certify_worker(payload)
+        _cert, _m, _l, warm_entries, _warm_extras = _certify_worker(payload)
         assert warm_entries == []
 
     def test_parallel_summarize_jobs_preserve_work_counters(self):
