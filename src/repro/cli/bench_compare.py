@@ -8,6 +8,7 @@ Every benchmark in ``benchmarks/`` writes a machine-readable
 
     {
       "bench": "fleet",
+      "tolerance": 0.35,
       "metrics": {
         "warm_summaries_computed": {"value": 0, "direction": "lower", "tolerance": 0},
         "speedup_vs_serial":       {"value": 0.75, "direction": "higher"}
@@ -18,8 +19,12 @@ Every benchmark in ``benchmarks/`` writes a machine-readable
 work counters) fail when the current value exceeds
 ``value * (1 + tolerance)``; ``higher`` metrics (speedups, counts of
 certified pipelines) fail when it drops below ``value * (1 - tolerance)``.
-A per-metric ``tolerance`` overrides the run-wide one — deterministic
-counters are pinned with ``0``, wall-clock-adjacent ratios get slack.
+Tolerance resolves most-specific-first: a per-metric ``tolerance``
+overrides the baseline file's top-level one, which overrides the
+run-wide ``--tolerance`` — deterministic counters are pinned with ``0``,
+wall-clock-adjacent ratios get slack sized to their own benchmark's
+noise, and the command-line value is only the fallback for baselines
+that pin nothing.
 Dotted metric names (``verify.speedup``) reach into nested result dicts.
 
 A missing current file, missing metric, or non-numeric value **fails the
@@ -138,6 +143,11 @@ def compare_baselines(
             baseline = json.loads(baseline_file.read_text())
             bench = baseline["bench"]
             metrics = baseline["metrics"]
+            file_tolerance = baseline.get("tolerance", tolerance)
+            if isinstance(file_tolerance, bool) or not isinstance(file_tolerance, (int, float)) \
+                    or file_tolerance < 0:
+                raise ValueError(f"top-level tolerance must be a number >= 0, "
+                                 f"got {file_tolerance!r}")
         except Exception as exc:
             checks.append(
                 MetricCheck(baseline_file.stem, "-", "-", None, None, None, False,
@@ -152,7 +162,9 @@ def compare_baselines(
             except Exception:
                 results = None
         for metric in sorted(metrics):
-            checks.append(_check_metric(bench, metric, metrics[metric], results, tolerance))
+            checks.append(
+                _check_metric(bench, metric, metrics[metric], results, file_tolerance)
+            )
     return checks, all(check.ok for check in checks)
 
 

@@ -32,6 +32,7 @@ from ..orchestrator import (
     SummaryStore,
     VerdictStore,
     diff_manifests,
+    migrate_store,
     recertify,
 )
 from ..obs.trace import Tracer, load_trace, summarize_spans
@@ -103,6 +104,12 @@ def _build_parser() -> _Parser:
     )
     certify.add_argument("--workers", type=int, default=1, help="worker processes (default 1)")
     certify.add_argument("--store", metavar="DIR", help="summary store directory (L2 tier)")
+    certify.add_argument(
+        "--store-backend", choices=("json", "sqlite"), default=None, metavar="NAME",
+        help="store backend for every tier: json (one file per entry) or sqlite "
+             "(batched single-file WAL database); default auto-detects from the "
+             "store layout, json for fresh roots",
+    )
     certify.add_argument(
         "--verdict-store", metavar="DIR",
         help="verdict store directory: enables delta mode (unchanged pipelines reuse verdicts)",
@@ -189,14 +196,17 @@ def _build_parser() -> _Parser:
     )
     compare.add_argument(
         "--tolerance", type=float, default=0.35,
-        help="relative slack for metrics without their own (default 0.35)",
+        help="fallback relative slack for baselines that pin neither a "
+             "file-level nor a per-metric tolerance (default 0.35)",
     )
     compare.add_argument("--json", action="store_true", help="print per-metric checks as JSON")
 
     store = commands.add_parser("store", help="maintain the on-disk store tiers")
     store_commands = store.add_subparsers(dest="store_command", required=True)
     for verb, text in (("gc", "sweep debris and optionally evict old entries"),
-                       ("stats", "print entry counts and sizes")):
+                       ("stats", "print entry counts and sizes"),
+                       ("migrate", "migrate store roots to the current SQLite schema "
+                                   "(JSON layout -> SQLite, or v(N) -> v(N+1) in place)")):
         sub = store_commands.add_parser(verb, help=text)
         sub.add_argument("--store", metavar="DIR", help="summary store directory")
         sub.add_argument("--verdict-store", metavar="DIR", help="verdict store directory")
@@ -248,9 +258,15 @@ def _run_certify(args: argparse.Namespace) -> int:
         baseline=baseline,
         input_lengths=_parse_lengths(args.lengths),
         workers=args.workers,
-        store=SummaryStore(args.store) if args.store else None,
-        verdict_store=VerdictStore(args.verdict_store) if args.verdict_store else None,
-        query_store=QueryStore(args.query_store) if args.query_store else None,
+        store=SummaryStore(args.store, backend=args.store_backend) if args.store else None,
+        verdict_store=(
+            VerdictStore(args.verdict_store, backend=args.store_backend)
+            if args.verdict_store else None
+        ),
+        query_store=(
+            QueryStore(args.query_store, backend=args.store_backend)
+            if args.query_store else None
+        ),
         options=options,
         max_counterexamples=args.max_counterexamples,
         confirm_by_replay=not args.no_replay,
@@ -422,7 +438,34 @@ def _query_tier_rates(metrics: dict) -> dict:
     return rates
 
 
+def _run_store_migrate(args: argparse.Namespace) -> int:
+    """``store migrate``: bring each named root to the current SQLite schema.
+
+    Works on the raw roots (not opened :class:`Store` objects — opening
+    an outdated SQLite store is exactly the loud error that sends people
+    here).  Unknown *future* schema versions refuse with
+    :data:`EXIT_USAGE` via :class:`StoreError`.
+    """
+    roots = [("summary", args.store, "summary store"),
+             ("verdict", args.verdict_store, "verdict store"),
+             ("query", args.query_store, "query store")]
+    roots = [(label, root, kind) for label, root, kind in roots if root]
+    if not roots:
+        raise _UsageError("pass --store, --verdict-store and/or --query-store")
+    document: dict = {"command": "store migrate", "stores": {}}
+    for label, root, kind in roots:
+        result = migrate_store(root, kind=kind)
+        document["stores"][label] = dataclasses.asdict(result)
+        if not args.json:
+            print(f"{label} store {result.root}: {result.summary()}")
+    if args.json:
+        print(json.dumps(document, indent=2))
+    return EXIT_OK
+
+
 def _run_store(args: argparse.Namespace) -> int:
+    if args.store_command == "migrate":
+        return _run_store_migrate(args)
     stores = _open_stores(args)
     document: dict = {"command": f"store {args.store_command}", "stores": {}}
     for label, store in stores:
@@ -437,6 +480,7 @@ def _run_store(args: argparse.Namespace) -> int:
         else:
             entry: dict = {
                 "root": str(store.root),
+                "backend": store.backend_name,
                 "entries": len(store),
                 "bytes": store.size_bytes(),
             }
@@ -447,8 +491,8 @@ def _run_store(args: argparse.Namespace) -> int:
                     entry["tier_rates"] = _query_tier_rates(metrics)
             document["stores"][label] = entry
             if not args.json:
-                print(f"{label} store {store.root}: {len(store)} entries, "
-                      f"{store.size_bytes()} bytes")
+                print(f"{label} store {store.root} [{store.backend_name}]: "
+                      f"{len(store)} entries, {store.size_bytes()} bytes")
                 rates = entry.get("tier_rates")
                 if rates:
                     metrics = entry["metrics"]

@@ -22,6 +22,16 @@ Typical usage::
     print(report.summary())   # unchanged pipelines: delta-reused, zero work
 """
 
+from .backends import (
+    SQLITE_FILENAME,
+    STORE_SCHEMA_VERSION,
+    JsonFileBackend,
+    MigrationResult,
+    SqliteBackend,
+    detect_backend_name,
+    make_backend,
+    migrate_store,
+)
 from .errors import OrchestratorError, SerializationError, StoreError, WorkerError
 from .fleet import (
     DELTA_REUSED,
@@ -56,6 +66,7 @@ from .store import (
     GcResult,
     JsonFileStore,
     QueryStore,
+    Store,
     StoreStatistics,
     SummaryStore,
     program_fingerprint,
@@ -76,17 +87,23 @@ __all__ = [
     "FRESH",
     "MANIFEST_VERSION",
     "RECORD_VERSION",
+    "SQLITE_FILENAME",
+    "STORE_SCHEMA_VERSION",
     "CatalogImpact",
     "FleetReport",
     "FleetStatistics",
     "GcResult",
+    "JsonFileBackend",
     "JsonFileStore",
+    "MigrationResult",
     "OrchestratorError",
     "PipelineCertification",
     "PipelineImpact",
     "QueryStore",
     "RecertificationReport",
     "SerializationError",
+    "SqliteBackend",
+    "Store",
     "StoreError",
     "StoreStatistics",
     "SummaryStore",
@@ -97,11 +114,14 @@ __all__ = [
     "catalog_manifest",
     "certify_fleet",
     "decode_terms",
+    "detect_backend_name",
     "diff_catalogs",
     "diff_manifests",
     "dumps_summary",
     "encode_terms",
     "loads_summary",
+    "make_backend",
+    "migrate_store",
     "program_fingerprint",
     "property_fingerprint",
     "property_set_fingerprint",

@@ -1,0 +1,1080 @@
+"""Pluggable entry backends for the content-addressed store tiers.
+
+Every persistent tier (:class:`~repro.orchestrator.store.SummaryStore`,
+:class:`~repro.orchestrator.verdicts.VerdictStore`,
+:class:`~repro.orchestrator.store.QueryStore`) speaks one small raw-entry
+protocol — ``read`` / ``write`` / ``quarantine`` / ``gc`` over
+``digest -> text`` pairs plus a cumulative metrics sidecar — and this
+module provides the two interchangeable implementations behind it,
+mirroring the SAT-backend seam in :mod:`repro.smt.backend`:
+
+* :class:`JsonFileBackend` — one file per entry under a two-level digest
+  fan-out, atomic temp-file + rename writes.  Simple, debuggable with
+  ``ls``, safe for any number of concurrent writers — and priced at one
+  filesystem round trip per entry, which is exactly what stops scaling
+  at fleet size.
+* :class:`SqliteBackend` — one ``store.sqlite`` per store root: WAL
+  journal, one connection per process, writes buffered and flushed as
+  ``INSERT OR REPLACE`` batches, lock contention absorbed by a
+  busy-timeout plus jittered-backoff retry.  Worker processes never
+  write the main database at all: a *shard view* reads the main file
+  and appends to a private ``shards/<tag>.sqlite``, which the parent
+  bulk-merges (``ATTACH`` + ``INSERT OR REPLACE ... SELECT``) after the
+  pool joins — merge-on-join costs one statement per shard, not one
+  rename per entry.
+
+Backends are selected per store root and **auto-detected from the disk
+layout** (a ``store.sqlite`` means SQLite, a digest fan-out means JSON
+files), so worker processes handed a bare root path always open the
+right implementation.  The SQLite schema is versioned in the database
+itself; opening a database from a *newer* repro fails loudly, an *older*
+one points at ``python -m repro store migrate``, and a file that is not
+a store at all (torn write, truncation) is quarantined aside exactly
+like a corrupt JSON entry.  :func:`migrate_store` performs the explicit
+migrations: JSON layout -> SQLite, and SQLite v(N) -> v(N+1) in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..obs.trace import wall_clock
+from .errors import StoreError
+
+__all__ = [
+    "GcResult",
+    "JSON_BACKEND",
+    "JsonFileBackend",
+    "MigrationResult",
+    "SQLITE_BACKEND",
+    "SQLITE_FILENAME",
+    "STORE_SCHEMA_VERSION",
+    "SqliteBackend",
+    "default_backend_name",
+    "detect_backend_name",
+    "make_backend",
+    "migrate_store",
+]
+
+JSON_BACKEND = "json"
+SQLITE_BACKEND = "sqlite"
+
+#: The single-file SQLite database holding every entry of a store root.
+SQLITE_FILENAME = "store.sqlite"
+
+#: Current SQLite store schema.  v1 was the initial prototype layout
+#: (no per-entry mtime, so ``gc --older-than-days`` could not tell warm
+#: entries from cold ones); v2 added the ``mtime`` column and moved the
+#: cumulative metrics sidecar into the ``meta`` table.  Bump on layout
+#: changes and register an upgrade in :data:`_SQLITE_MIGRATIONS`.
+STORE_SCHEMA_VERSION = 2
+
+#: Suffix given to quarantined (corrupt) entries and databases; never
+#: matches the entry glob, so quarantined garbage is invisible to reads.
+QUARANTINE_SUFFIX = ".corrupt"
+
+#: Writes buffered before an automatic flush (one INSERT OR REPLACE batch).
+DEFAULT_BATCH_SIZE = 256
+
+#: Read-touch granularity: a SQLite entry's mtime is only refreshed when
+#: it is staler than this.  Gc age horizons are measured in days, so
+#: hour-level precision loses nothing — and it keeps warm re-reads of
+#: recently-touched entries from queueing mtime UPDATEs at all, which
+#: would otherwise cost more than the reads themselves.
+_TOUCH_GRANULARITY_SECONDS = 3600.0
+
+#: Seconds SQLite itself blocks on a locked database before returning
+#: SQLITE_BUSY; the jittered retry loop sits on top of this.
+_BUSY_TIMEOUT_SECONDS = 5.0
+_BUSY_RETRIES = 6
+_BUSY_BACKOFF_SECONDS = 0.05
+
+T = TypeVar("T")
+
+
+@dataclass
+class GcResult:
+    """What one store ``gc`` sweep did."""
+
+    removed_entries: int = 0
+    removed_debris: int = 0
+    kept_entries: int = 0
+    bytes_freed: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"removed {self.removed_entries} entries and {self.removed_debris} debris files "
+            f"({self.bytes_freed} bytes), kept {self.kept_entries} entries"
+        )
+
+
+def _size_of(path: Path) -> int:
+    try:
+        return path.stat().st_size
+    except OSError:  # racing removal: a concurrent writer/gc got there first
+        return 0
+
+
+def _mtime_of(path: Path) -> Optional[float]:
+    """The file's mtime, or ``None`` when it vanished under us.
+
+    Entries listed by a directory scan can be unlinked by a concurrent
+    writer (or another gc) before we stat them; a vanished entry is
+    nobody's bug and must never abort the sweep.
+    """
+    try:
+        return path.stat().st_mtime
+    except OSError:
+        return None
+
+
+def _fold_metrics(totals: dict, counters: dict) -> dict:
+    """Key-sum one run's numeric counters into the cumulative totals."""
+    for key, value in counters.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        totals[key] = totals.get(key, 0) + value
+    totals["runs"] = int(totals.get("runs", 0)) + 1
+    return totals
+
+
+# -- JSON-file backend ----------------------------------------------------------------
+
+
+class JsonFileBackend:
+    """One file per entry: ``<root>/<digest[:2]>/<digest>.json``.
+
+    The two-level fan-out keeps directories small for fleet-sized stores;
+    writes are atomic (temp file + rename), so any number of processes
+    can share one root without locks — the worst case under a racing
+    write is one redundant computation, never a torn read.
+    """
+
+    name = JSON_BACKEND
+
+    #: Cumulative-counters sidecar (see :meth:`record_metrics`).
+    METRICS_NAME = "metrics.json"
+
+    def __init__(self, root: Path, kind: str = "store") -> None:
+        self.root = root
+        self.kind = kind
+
+    def entry_path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- raw entry I/O ---------------------------------------------------------------
+
+    def read(self, digest: str) -> Optional[str]:
+        path = self.entry_path(digest)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read {self.kind} entry {path}: {exc}") from exc
+        try:
+            # A successful read refreshes the entry's mtime, so gc's age
+            # horizon means "not *touched* for N days".
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - racing removal: entry already gone
+            pass
+        return text
+
+    def write(self, digest: str, text: str) -> None:
+        path = self.entry_path(digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.parent / f".{digest}.{os.getpid()}.tmp"
+            temp.write_text(text)
+            os.replace(temp, path)
+        except OSError as exc:
+            raise StoreError(f"cannot write {self.kind} entry {path}: {exc}") from exc
+
+    def write_many(self, rows: Iterable[Tuple[str, str, float]]) -> int:
+        """Bulk insert ``(digest, text, mtime)`` rows (used by migration)."""
+        written = 0
+        for digest, text, mtime in rows:
+            self.write(digest, text)
+            try:
+                os.utime(self.entry_path(digest), (mtime, mtime))
+            except OSError:  # pragma: no cover - racing removal
+                pass
+            written += 1
+        return written
+
+    def read_many(self, digests: Sequence[str]) -> Dict[str, str]:
+        """Bulk read: present entries by digest (files offer no batching win)."""
+        found: Dict[str, str] = {}
+        for digest in digests:
+            text = self.read(digest)
+            if text is not None:
+                found[digest] = text
+        return found
+
+    def quarantine(self, digest: str) -> None:
+        path = self.entry_path(digest)
+        try:
+            os.replace(path, path.with_name(path.name + QUARANTINE_SUFFIX))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink: entry already gone
+                pass
+
+    def contains(self, digest: str) -> bool:
+        return self.entry_path(digest).is_file()
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def count(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def size_bytes(self) -> int:
+        # _size_of (not a bare stat): entries may vanish between the
+        # directory scan and the stat — see the gc race note below.
+        return sum(_size_of(path) for path in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def gc(self, older_than_seconds: Optional[float] = None) -> GcResult:
+        result = GcResult()
+        # The one legitimate wall-clock read in the store layer: the age
+        # horizon compares against file *mtimes*, which are wall-clock
+        # timestamps — perf_counter has no defined epoch to compare them to.
+        now = wall_clock()
+        for path in self.root.glob(f"??/*{QUARANTINE_SUFFIX}"):
+            result.bytes_freed += _size_of(path)
+            path.unlink(missing_ok=True)
+            result.removed_debris += 1
+        for path in self.root.glob("??/.*.tmp"):
+            mtime = _mtime_of(path)
+            if mtime is not None and now - mtime > 60:
+                result.bytes_freed += _size_of(path)
+                path.unlink(missing_ok=True)
+                result.removed_debris += 1
+        for path in self.root.glob("??/*.json"):
+            # A concurrent writer may unlink an entry between the listing
+            # and the stat; a vanished entry is neither kept nor removed.
+            mtime = _mtime_of(path)
+            if mtime is None:
+                continue
+            if older_than_seconds is not None and now - mtime > older_than_seconds:
+                result.bytes_freed += _size_of(path)
+                path.unlink(missing_ok=True)
+                result.removed_entries += 1
+            else:
+                result.kept_entries += 1
+        return result
+
+    # -- metrics sidecar -------------------------------------------------------------
+
+    def load_metrics(self) -> dict:
+        try:
+            payload = json.loads((self.root / self.METRICS_NAME).read_text())
+        except (OSError, ValueError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    def record_metrics(self, counters: dict) -> dict:
+        """Fold one run's counters into the sidecar; returns the new totals.
+
+        The write is atomic like every entry write, so concurrent
+        recorders lose at worst one run's increment, never the file.
+        """
+        totals = _fold_metrics(self.load_metrics(), counters)
+        path = self.root / self.METRICS_NAME
+        temp = self.root / f".{self.METRICS_NAME}.{os.getpid()}.tmp"
+        try:
+            temp.write_text(json.dumps(totals, sort_keys=True))
+            os.replace(temp, path)
+        except OSError as exc:
+            raise StoreError(f"cannot write {self.kind} metrics {path}: {exc}") from exc
+        return totals
+
+    # -- lifecycle / sharding (trivial for files) ------------------------------------
+
+    def flush(self) -> None:
+        """Atomic per-entry writes have nothing buffered."""
+
+    def close(self) -> None:
+        pass
+
+    def merge_shards(self) -> int:
+        """File stores never shard: workers write entries atomically in place."""
+        return 0
+
+
+# -- SQLite backend -------------------------------------------------------------------
+
+_SCHEMA_STATEMENTS = (
+    "CREATE TABLE IF NOT EXISTS entries ("
+    " digest TEXT PRIMARY KEY,"
+    " payload TEXT NOT NULL,"
+    " mtime REAL NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+)
+
+
+class SqliteBackend:
+    """Single-file batched SQLite store (see the module docstring).
+
+    ``shard`` switches the backend into its worker view: reads come from
+    the main database, writes land in ``shards/<shard>.sqlite`` for the
+    parent's :meth:`merge_shards` to fold in after the pool joins.  The
+    connection is process-private; a backend inherited through ``fork``
+    transparently reopens on first use in the child.
+    """
+
+    name = SQLITE_BACKEND
+
+    def __init__(
+        self,
+        root: Path,
+        kind: str = "store",
+        statistics: Optional[object] = None,
+        shard: Optional[str] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        self.root = root
+        self.kind = kind
+        self.statistics = statistics
+        self.shard = shard
+        self.batch_size = max(1, batch_size)
+        self.path = root / SQLITE_FILENAME
+        self._pid = os.getpid()
+        self._pending: Dict[str, str] = {}
+        self._touched: Dict[str, float] = {}
+        self._read_conn: Optional[sqlite3.Connection] = None
+        self._write_conn: Optional[sqlite3.Connection] = None
+        self._open()
+
+    # -- connection management -------------------------------------------------------
+
+    @property
+    def shard_path(self) -> Optional[Path]:
+        if self.shard is None:
+            return None
+        return self.root / "shards" / f"{self.shard}.sqlite"
+
+    def _connect(self, path: Path) -> sqlite3.Connection:
+        connection = sqlite3.connect(
+            str(path), timeout=_BUSY_TIMEOUT_SECONDS, isolation_level=None
+        )
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        return connection
+
+    def _open(self) -> None:
+        try:
+            self._read_conn = self._connect(self.path)
+            self._validate_main()
+        except sqlite3.DatabaseError:
+            # Not a SQLite file at all (torn write, truncation, random
+            # garbage): quarantine the database exactly like a corrupt
+            # JSON entry and start fresh — the store is a cache, so the
+            # price is recomputation, never a wrong answer.
+            self._quarantine_database()
+            self._read_conn = self._connect(self.path)
+            self._initialize(self._read_conn)
+        if self.shard is None:
+            self._write_conn = self._read_conn
+        else:
+            shard_path = self.shard_path
+            assert shard_path is not None
+            shard_path.parent.mkdir(parents=True, exist_ok=True)
+            self._write_conn = self._connect(shard_path)
+            self._initialize(self._write_conn)
+
+    def _initialize(self, connection: sqlite3.Connection) -> None:
+        for statement in _SCHEMA_STATEMENTS:
+            self._retry(lambda s=statement: connection.execute(s))
+        self._retry(
+            lambda: connection.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(STORE_SCHEMA_VERSION),),
+            )
+        )
+        self._retry(
+            lambda: connection.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES ('kind', ?)", (self.kind,)
+            )
+        )
+
+    def _validate_main(self) -> None:
+        """Create a fresh schema, or police the version of an existing one."""
+        assert self._read_conn is not None
+        tables = {
+            row[0]
+            for row in self._read_conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        if not tables:
+            self._initialize(self._read_conn)
+            return
+        if "meta" not in tables or "entries" not in tables:
+            # A SQLite file, but not one of ours: treat as corruption.
+            raise sqlite3.DatabaseError("not a repro store database")
+        row = self._read_conn.execute(
+            "SELECT value FROM meta WHERE key='schema_version'"
+        ).fetchone()
+        try:
+            version = int(row[0]) if row is not None else None
+        except (TypeError, ValueError):
+            version = None
+        if version is None:
+            raise sqlite3.DatabaseError("store database has no readable schema version")
+        if version > STORE_SCHEMA_VERSION:
+            # Never quarantine data from the future: refusing loudly is
+            # the only safe answer to a database a newer repro wrote.
+            raise StoreError(
+                f"{self.kind} at {self.path} has schema v{version}, newer than this "
+                f"repro's v{STORE_SCHEMA_VERSION}; refusing to open it"
+            )
+        if version < STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"{self.kind} at {self.path} has schema v{version} "
+                f"(current is v{STORE_SCHEMA_VERSION}); "
+                "run `python -m repro store migrate` to upgrade it in place"
+            )
+
+    def _quarantine_database(self) -> None:
+        if self._read_conn is not None:
+            try:
+                self._read_conn.close()
+            except sqlite3.Error:  # pragma: no cover - close of a broken handle
+                pass
+            self._read_conn = None
+        target = self.path.with_name(self.path.name + QUARANTINE_SUFFIX)
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            try:
+                self.path.unlink()
+            except OSError:  # pragma: no cover - racing unlink
+                pass
+        for suffix in ("-wal", "-shm"):
+            sidecar = self.path.with_name(self.path.name + suffix)
+            try:
+                sidecar.unlink()
+            except OSError:
+                pass
+        if self.statistics is not None:
+            self.statistics.corrupt_entries += 1
+            self.statistics.quarantined += 1
+
+    def _ensure_process(self) -> None:
+        """Reopen after a fork: SQLite connections must not cross processes.
+
+        The forked child drops the parent's buffered writes — the parent
+        still holds (and will flush) its own copy, and replaying them from
+        the child would at best be redundant ``INSERT OR REPLACE`` traffic.
+        """
+        if os.getpid() == self._pid:
+            return
+        self._pid = os.getpid()
+        self._pending.clear()
+        self._touched.clear()
+        self._read_conn = None
+        self._write_conn = None
+        self._open()
+
+    def _retry(self, operation: Callable[[], T]) -> T:
+        """Run one statement, absorbing SQLITE_BUSY with jittered backoff.
+
+        The built-in busy timeout already blocks for
+        :data:`_BUSY_TIMEOUT_SECONDS`; the loop on top spreads N
+        colliding writers out instead of letting them re-stampede the
+        lock in sync.
+        """
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise StoreError(f"{self.kind} at {self.path}: {exc}") from exc
+                if attempt >= _BUSY_RETRIES:
+                    raise StoreError(
+                        f"{self.kind} at {self.path} is locked after "
+                        f"{attempt} retries: {exc}"
+                    ) from exc
+                if self.statistics is not None:
+                    self.statistics.busy_retries += 1
+                delay = _BUSY_BACKOFF_SECONDS * (2**attempt) * (0.5 + random.random())
+                time.sleep(delay)
+                attempt += 1
+
+    # -- raw entry I/O ---------------------------------------------------------------
+
+    def read(self, digest: str) -> Optional[str]:
+        pending = self._pending.get(digest)
+        if pending is not None:
+            return pending
+        if os.getpid() != self._pid:
+            self._ensure_process()
+        # Happy path first, no retry-closure allocation: warm fleet runs
+        # are read-dominated, and WAL readers essentially never block.
+        try:
+            row = self._read_conn.execute(  # type: ignore[union-attr]
+                "SELECT payload, mtime FROM entries WHERE digest=?", (digest,)
+            ).fetchone()
+        except sqlite3.OperationalError:
+            row = self._retry(
+                lambda: self._read_conn.execute(
+                    "SELECT payload, mtime FROM entries WHERE digest=?", (digest,)
+                ).fetchone()
+            )
+        if row is None:
+            return None
+        # Touches batch with the writes: gc's age horizon only needs the
+        # mtime eventually, and a per-read UPDATE would turn every warm
+        # read into a write lock.  Fresh entries skip the queue entirely
+        # (see _TOUCH_GRANULARITY_SECONDS).
+        now = wall_clock()
+        if now - row[1] > _TOUCH_GRANULARITY_SECONDS:
+            self._touched[digest] = now
+            if len(self._touched) >= self.batch_size:
+                self.flush()
+        return row[0]
+
+    def write(self, digest: str, text: str) -> None:
+        if os.getpid() != self._pid:
+            self._ensure_process()
+        self._pending[digest] = text
+        self._touched.pop(digest, None)
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+
+    def write_many(self, rows: Iterable[Tuple[str, str, float]]) -> int:
+        """Bulk insert ``(digest, text, mtime)`` rows in one batch."""
+        self._ensure_process()
+        assert self._write_conn is not None
+        materialized = list(rows)
+        self._retry(
+            lambda: self._write_conn.executemany(
+                "INSERT OR REPLACE INTO entries (digest, payload, mtime) VALUES (?, ?, ?)",
+                materialized,
+            )
+        )
+        return len(materialized)
+
+    def read_many(self, digests: Sequence[str]) -> Dict[str, str]:
+        """Bulk read: one chunked ``SELECT ... IN`` instead of N round trips.
+
+        This is where the batched backend earns warm fleet runs: a delta
+        re-certification probes one verdict record per pipeline, and
+        fetching them hundreds at a time costs one statement per chunk,
+        not one per pipeline.
+        """
+        found: Dict[str, str] = {}
+        remaining: List[str] = []
+        for digest in digests:
+            pending = self._pending.get(digest)
+            if pending is not None:
+                found[digest] = pending
+            else:
+                remaining.append(digest)
+        if not remaining:
+            return found
+        if os.getpid() != self._pid:
+            self._ensure_process()
+        now = wall_clock()
+        # Stay well under SQLite's default 999-parameter limit per statement.
+        for start in range(0, len(remaining), 400):
+            chunk = remaining[start:start + 400]
+            marks = ",".join("?" * len(chunk))
+            rows = self._retry(
+                lambda c=chunk, m=marks: self._read_conn.execute(
+                    f"SELECT digest, payload, mtime FROM entries "
+                    f"WHERE digest IN ({m})",
+                    c,
+                ).fetchall()
+            )
+            for digest, payload, mtime in rows:
+                found[digest] = payload
+                if now - mtime > _TOUCH_GRANULARITY_SECONDS:
+                    self._touched[digest] = now
+        if len(self._touched) >= self.batch_size:
+            self.flush()
+        return found
+
+    def quarantine(self, digest: str) -> None:
+        """Drop a corrupt entry (row removal *is* the quarantine for rows).
+
+        Unlike files there is no rename-aside for a single row; the
+        payload is garbage JSON inside a healthy database, so deletion
+        loses nothing worth a post-mortem.
+        """
+        self._pending.pop(digest, None)
+        self._touched.pop(digest, None)
+        self._ensure_process()
+        assert self._write_conn is not None
+        self._retry(
+            lambda: self._write_conn.execute(
+                "DELETE FROM entries WHERE digest=?", (digest,)
+            )
+        )
+
+    def contains(self, digest: str) -> bool:
+        if digest in self._pending:
+            return True
+        if os.getpid() != self._pid:
+            self._ensure_process()
+        try:
+            row = self._read_conn.execute(  # type: ignore[union-attr]
+                "SELECT 1 FROM entries WHERE digest=?", (digest,)
+            ).fetchone()
+        except sqlite3.OperationalError:
+            row = self._retry(
+                lambda: self._read_conn.execute(
+                    "SELECT 1 FROM entries WHERE digest=?", (digest,)
+                ).fetchone()
+            )
+        return row is not None
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def count(self) -> int:
+        self.flush()
+        assert self._read_conn is not None
+        return self._retry(
+            lambda: self._read_conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+        )[0]
+
+    def size_bytes(self) -> int:
+        """Bytes held by live payloads (debris and index overhead excluded)."""
+        self.flush()
+        assert self._read_conn is not None
+        return self._retry(
+            lambda: self._read_conn.execute(
+                "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM entries"
+            ).fetchone()
+        )[0]
+
+    def clear(self) -> int:
+        self._pending.clear()
+        self._touched.clear()
+        self._ensure_process()
+        assert self._write_conn is not None
+        removed = self.count()
+        self._retry(lambda: self._write_conn.execute("DELETE FROM entries"))
+        return removed
+
+    def gc(self, older_than_seconds: Optional[float] = None) -> GcResult:
+        self.flush()
+        assert self._write_conn is not None
+        result = GcResult()
+        now = wall_clock()
+        for path in self.root.glob(f"*{QUARANTINE_SUFFIX}"):
+            result.bytes_freed += _size_of(path)
+            path.unlink(missing_ok=True)
+            result.removed_debris += 1
+        # Orphaned shard databases: crashed workers whose shards were
+        # never merged.  Anything older than a minute cannot belong to a
+        # live pool (merge-on-join runs the moment the pool exits).
+        for path in self.root.glob("shards/*"):
+            mtime = _mtime_of(path)
+            if mtime is not None and now - mtime > 60:
+                result.bytes_freed += _size_of(path)
+                path.unlink(missing_ok=True)
+                result.removed_debris += 1
+        if older_than_seconds is not None:
+            horizon = now - older_than_seconds
+            freed = self._retry(
+                lambda: self._write_conn.execute(
+                    "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+                    "FROM entries WHERE mtime < ?",
+                    (horizon,),
+                ).fetchone()
+            )
+            result.removed_entries = freed[0]
+            result.bytes_freed += freed[1]
+            self._retry(
+                lambda: self._write_conn.execute(
+                    "DELETE FROM entries WHERE mtime < ?", (horizon,)
+                )
+            )
+        result.kept_entries = self.count()
+        if result.removed_entries:
+            # Return the space to the filesystem; safe here because gc is
+            # an explicit maintenance call, not a hot-path operation.
+            self._retry(lambda: self._write_conn.execute("VACUUM"))
+        return result
+
+    # -- metrics ---------------------------------------------------------------------
+
+    def load_metrics(self) -> dict:
+        self._ensure_process()
+        assert self._read_conn is not None
+        row = self._retry(
+            lambda: self._read_conn.execute(
+                "SELECT value FROM meta WHERE key='metrics'"
+            ).fetchone()
+        )
+        if row is None:
+            return {}
+        try:
+            payload = json.loads(row[0])
+        except ValueError:
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    def record_metrics(self, counters: dict) -> dict:
+        """Fold one run's counters into the totals, atomically.
+
+        The read-fold-write runs inside one ``BEGIN IMMEDIATE``
+        transaction, so concurrent recorders serialize instead of losing
+        increments — strictly better than the JSON sidecar's
+        last-writer-wins.
+        """
+        self._ensure_process()
+        assert self._write_conn is not None
+
+        def _transact() -> dict:
+            self._write_conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._write_conn.execute(
+                    "SELECT value FROM meta WHERE key='metrics'"
+                ).fetchone()
+                try:
+                    totals = json.loads(row[0]) if row is not None else {}
+                except ValueError:
+                    totals = {}
+                if not isinstance(totals, dict):
+                    totals = {}
+                totals = _fold_metrics(totals, counters)
+                self._write_conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES ('metrics', ?)",
+                    (json.dumps(totals, sort_keys=True),),
+                )
+                self._write_conn.execute("COMMIT")
+                return totals
+            except BaseException:
+                self._write_conn.execute("ROLLBACK")
+                raise
+
+        return self._retry(_transact)
+
+    # -- lifecycle / sharding --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Push buffered writes and mtime touches in two batched statements."""
+        self._ensure_process()
+        if self._pending:
+            assert self._write_conn is not None
+            now = wall_clock()
+            rows = [(digest, text, now) for digest, text in self._pending.items()]
+            self._retry(
+                lambda: self._write_conn.executemany(
+                    "INSERT OR REPLACE INTO entries (digest, payload, mtime) "
+                    "VALUES (?, ?, ?)",
+                    rows,
+                )
+            )
+            self._pending.clear()
+        if self._touched and self.shard is None:
+            # Touch refreshes only make sense against the main database
+            # (a shard view's reads came from main, which it must not
+            # write); shard-view touches are simply dropped.
+            assert self._write_conn is not None
+            rows = [(mtime, digest) for digest, mtime in self._touched.items()]
+            self._retry(
+                lambda: self._write_conn.executemany(
+                    "UPDATE entries SET mtime=? WHERE digest=?", rows
+                )
+            )
+        self._touched.clear()
+
+    def close(self) -> None:
+        try:
+            self.flush()
+        finally:
+            for connection in {id(self._read_conn): self._read_conn,
+                               id(self._write_conn): self._write_conn}.values():
+                if connection is not None:
+                    try:
+                        connection.close()
+                    except sqlite3.Error:  # pragma: no cover - already broken
+                        pass
+            self._read_conn = None
+            self._write_conn = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            if os.getpid() == self._pid:
+                self.close()
+        except Exception:
+            pass
+
+    def merge_shards(self) -> int:
+        """Fold every ``shards/*.sqlite`` into the main database, then delete it.
+
+        One ``ATTACH`` + ``INSERT OR REPLACE ... SELECT`` per shard — the
+        whole shard lands in a single statement, which is the point of
+        sharding: merge-on-join scales with the number of *workers*, not
+        the number of entries.
+        """
+        if self.shard is not None:
+            raise StoreError("merge_shards must run on the main store, not a shard view")
+        self.flush()
+        assert self._write_conn is not None
+        merged = 0
+        for shard_path in sorted(self.root.glob("shards/*.sqlite")):
+            try:
+                self._retry(
+                    lambda p=shard_path: self._write_conn.execute(
+                        "ATTACH DATABASE ? AS shard", (str(p),)
+                    )
+                )
+            except (StoreError, sqlite3.DatabaseError):
+                continue  # torn shard from a crashed worker: gc sweeps it
+            try:
+                cursor = self._retry(
+                    lambda: self._write_conn.execute(
+                        "INSERT OR REPLACE INTO entries "
+                        "SELECT digest, payload, mtime FROM shard.entries"
+                    )
+                )
+                merged += max(cursor.rowcount, 0)
+            except (StoreError, sqlite3.DatabaseError):
+                continue  # not a store shard: leave it for gc
+            finally:
+                self._retry(lambda: self._write_conn.execute("DETACH DATABASE shard"))
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    shard_path.with_name(shard_path.name + suffix).unlink()
+                except OSError:
+                    pass
+        return merged
+
+
+# -- selection and migration ----------------------------------------------------------
+
+
+def default_backend_name() -> str:
+    """The backend used for brand-new store roots.
+
+    JSON files unless ``REPRO_STORE_BACKEND`` says otherwise — existing
+    deployments keep their inspectable one-file-per-entry layout until
+    they opt in (``--store-backend sqlite`` / the env var / migration).
+    """
+    name = os.environ.get("REPRO_STORE_BACKEND", JSON_BACKEND)
+    if name not in (JSON_BACKEND, SQLITE_BACKEND):
+        raise StoreError(
+            f"unknown REPRO_STORE_BACKEND {name!r} (expected {JSON_BACKEND} or {SQLITE_BACKEND})"
+        )
+    return name
+
+
+def detect_backend_name(root: Path) -> Optional[str]:
+    """What backend already lives at ``root``, or ``None`` for a fresh root."""
+    if (root / SQLITE_FILENAME).exists():
+        return SQLITE_BACKEND
+    if (root / JsonFileBackend.METRICS_NAME).exists():
+        return JSON_BACKEND
+    try:
+        next(root.glob("??/*.json*"))
+        return JSON_BACKEND
+    except (StopIteration, OSError):
+        return None
+
+
+def make_backend(
+    root: Path,
+    requested: Optional[str] = None,
+    kind: str = "store",
+    statistics: Optional[object] = None,
+    shard: Optional[str] = None,
+):
+    """Open the backend for a store root.
+
+    ``requested`` pins the implementation; ``None`` auto-detects from the
+    disk layout and falls back to :func:`default_backend_name` for fresh
+    roots.  Requesting a backend *different* from what is on disk is a
+    loud error pointing at migration — two half-populated layouts in one
+    root would silently split the cache.
+    """
+    detected = detect_backend_name(root)
+    name = requested or detected or default_backend_name()
+    if requested is not None and detected is not None and requested != detected:
+        raise StoreError(
+            f"{kind} at {root} holds a {detected} layout but backend {requested!r} was "
+            "requested; run `python -m repro store migrate` instead of mixing layouts"
+        )
+    if name == SQLITE_BACKEND:
+        return SqliteBackend(root, kind=kind, statistics=statistics, shard=shard)
+    if name == JSON_BACKEND:
+        return JsonFileBackend(root, kind=kind)
+    raise StoreError(f"unknown store backend {name!r}")
+
+
+@dataclass
+class MigrationResult:
+    """What :func:`migrate_store` did to one store root."""
+
+    root: str
+    action: str  # "json-to-sqlite" | "upgraded" | "up-to-date" | "initialized"
+    from_version: Optional[int] = None
+    to_version: int = STORE_SCHEMA_VERSION
+    entries: int = 0
+
+    def summary(self) -> str:
+        if self.action == "json-to-sqlite":
+            return f"migrated {self.entries} JSON entries to SQLite v{self.to_version}"
+        if self.action == "upgraded":
+            return (
+                f"upgraded SQLite schema v{self.from_version} -> v{self.to_version} "
+                f"({self.entries} entries)"
+            )
+        if self.action == "initialized":
+            return f"initialized empty SQLite store (schema v{self.to_version})"
+        return f"already SQLite v{self.to_version} ({self.entries} entries)"
+
+
+def _migrate_v1_to_v2(connection: sqlite3.Connection) -> None:
+    """v1 -> v2: per-entry mtimes (age-horizon gc) + in-database metrics.
+
+    Existing entries are stamped with the migration time — the most
+    conservative age (nothing becomes instantly evictable), matching how
+    a restored-from-backup JSON store would look.
+    """
+    columns = {row[1] for row in connection.execute("PRAGMA table_info(entries)")}
+    if "mtime" not in columns:
+        connection.execute("ALTER TABLE entries ADD COLUMN mtime REAL NOT NULL DEFAULT 0")
+    connection.execute("UPDATE entries SET mtime=? WHERE mtime=0", (wall_clock(),))
+
+
+#: Registered in-place upgrades: version N -> N+1.
+_SQLITE_MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
+    1: _migrate_v1_to_v2,
+}
+
+
+def _collect_json_entries(root: Path) -> List[Tuple[str, str, float]]:
+    rows: List[Tuple[str, str, float]] = []
+    for path in sorted(root.glob("??/*.json")):
+        mtime = _mtime_of(path)
+        if mtime is None:
+            continue  # vanished under a concurrent writer
+        try:
+            rows.append((path.stem, path.read_text(), mtime))
+        except OSError:
+            continue
+    return rows
+
+
+def migrate_store(root, kind: str = "store") -> MigrationResult:
+    """Migrate one store root to the current SQLite schema, in place.
+
+    * JSON layout -> SQLite: every entry is bulk-inserted (mtimes
+      preserved, so gc age horizons survive), the metrics sidecar moves
+      into the ``meta`` table, and the JSON files are removed only after
+      the SQLite database is fully written.
+    * SQLite v(N) -> v(N+1): registered upgrades run stepwise inside one
+      transaction per step.
+    * A schema from a *newer* repro raises :class:`StoreError` — refusing
+      unknown future versions loudly beats guessing at their layout.
+    """
+    root = Path(root).expanduser()
+    root.mkdir(parents=True, exist_ok=True)
+    detected = detect_backend_name(root)
+
+    if detected == JSON_BACKEND:
+        json_backend = JsonFileBackend(root, kind=kind)
+        rows = _collect_json_entries(root)
+        metrics = json_backend.load_metrics()
+        sqlite_backend = SqliteBackend(root, kind=kind)
+        entries = sqlite_backend.write_many(rows)
+        if metrics:
+            # Seed the totals verbatim (record_metrics would add a run).
+            sqlite_backend._retry(
+                lambda: sqlite_backend._write_conn.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES ('metrics', ?)",
+                    (json.dumps(metrics, sort_keys=True),),
+                )
+            )
+        sqlite_backend.close()
+        # The SQLite file is durable; now (and only now) drop the JSON
+        # layout so auto-detection can never see both.
+        for path in root.glob("??/*"):
+            path.unlink(missing_ok=True)
+        for bucket in root.glob("??"):
+            try:
+                bucket.rmdir()
+            except OSError:  # pragma: no cover - non-empty: a racing writer refilled it
+                pass
+        (root / JsonFileBackend.METRICS_NAME).unlink(missing_ok=True)
+        return MigrationResult(str(root), "json-to-sqlite", entries=entries)
+
+    if detected is None:
+        backend = SqliteBackend(root, kind=kind)
+        backend.close()
+        return MigrationResult(str(root), "initialized")
+
+    # SQLite already: inspect the version with a raw connection (the
+    # backend class itself refuses to open old versions).
+    path = root / SQLITE_FILENAME
+    connection = sqlite3.connect(str(path), timeout=_BUSY_TIMEOUT_SECONDS)
+    try:
+        try:
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            raise StoreError(
+                f"{kind} at {path} is not a readable store database ({exc}); "
+                "quarantine it by opening the store, then re-run migration"
+            ) from exc
+        try:
+            version = int(row[0]) if row is not None else None
+        except (TypeError, ValueError):
+            version = None
+        if version is None:
+            raise StoreError(
+                f"{kind} at {path} has no readable schema version; "
+                "quarantine it by opening the store, then re-run migration"
+            )
+        if version > STORE_SCHEMA_VERSION:
+            raise StoreError(
+                f"{kind} at {path} has schema v{version}, newer than this repro's "
+                f"v{STORE_SCHEMA_VERSION}; refusing to touch it"
+            )
+        from_version = version
+        while version < STORE_SCHEMA_VERSION:
+            upgrade = _SQLITE_MIGRATIONS.get(version)
+            if upgrade is None:  # pragma: no cover - would be a registration bug
+                raise StoreError(f"no registered migration from schema v{version}")
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                upgrade(connection)
+                version += 1
+                connection.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) "
+                    "VALUES ('schema_version', ?)",
+                    (str(version),),
+                )
+                connection.execute("COMMIT")
+            except BaseException:
+                connection.execute("ROLLBACK")
+                raise
+        entries = connection.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+        action = "up-to-date" if from_version == STORE_SCHEMA_VERSION else "upgraded"
+        return MigrationResult(
+            str(root), action, from_version=from_version, entries=entries
+        )
+    finally:
+        connection.close()

@@ -27,6 +27,7 @@ runs.
 from __future__ import annotations
 
 import contextlib
+import copy
 import dataclasses
 import os
 import tempfile
@@ -57,6 +58,7 @@ from .workers import (
     run_tasks,
     summarize_jobs,
     worker_query_cache,
+    worker_summary_store,
 )
 
 #: Provenance labels: the certification was verified on this run, ...
@@ -371,16 +373,23 @@ def _certify_worker(payload) -> Tuple[PipelineCertification, int, int, list, dic
     if options.trace:
         enable()
     query_cache = worker_query_cache(options)
-    cache = SummaryCache(options, store=SummaryStore(store_root), query_cache=query_cache)
-    certification = _certify_one(
-        pipeline,
-        properties,
-        input_lengths,
-        cache,
-        max_counterexamples,
-        confirm_by_replay,
-        with_instruction_bound,
-    )
+    store = worker_summary_store(store_root)
+    cache = SummaryCache(options, store=store, query_cache=query_cache)
+    try:
+        certification = _certify_one(
+            pipeline,
+            properties,
+            input_lengths,
+            cache,
+            max_counterexamples,
+            confirm_by_replay,
+            with_instruction_bound,
+        )
+    finally:
+        if store is not None:
+            # Push worker-side miss writes into this worker's shard before
+            # the pool can recycle the process (see _summarize_worker).
+            store.close()
     return (
         certification,
         cache.statistics.misses,
@@ -524,8 +533,21 @@ def _certify_fleet(
                 confirm_by_replay,
                 instruction_bounds,
             )
-            record = verdict_store.load_record(record_keys[index])
+        # One bulk read instead of a round trip per pipeline: on the
+        # batched backend a warm fleet lookup is a handful of chunked
+        # queries, not len(pipelines) of them.
+        records = verdict_store.load_records(
+            [key for key in record_keys if key is not None]
+        )
+        consumed: Set[str] = set()
+        for index, pipeline in enumerate(pipelines):
+            record = records.get(record_keys[index])
             if record is not None:
+                if record_keys[index] in consumed:
+                    # Identical pipelines share a digest; each index still
+                    # gets its own record object (relabel mutates it).
+                    record = copy.deepcopy(record)
+                consumed.add(record_keys[index])
                 record.provenance = DELTA_REUSED
                 record.impact_causes = []
                 record.relabel(pipeline.name)
@@ -599,11 +621,20 @@ def _certify_fleet(
                 report.statistics.step2_store_loads += l2_hits
                 shipped_entries.extend(query_entries)
                 merge_observability(extras, fleet_qstats)
+            # Step-2 pool has joined: fold worker shards (SQLite backend)
+            # into the main store before anyone reads it cold.
+            store.merge_shards()
             merge_query_entries(options.query_cache_dir, shipped_entries)
         elif fresh_pipelines:
             # Serial: one shared cache dedupes across the catalog in-process
             # (and through the store, when one is provided).
             cache = SummaryCache(options, store=store)
+            if query_store is not None and cache.query_cache is not None:
+                # Route the L3 tier through the caller's QueryStore object
+                # (not the cache's own private instance over the same
+                # directory), so its statistics see the traffic and its
+                # batched writes are the ones flushed below.
+                cache.query_cache.store = query_store
             for pipeline in fresh_pipelines:
                 fresh_certifications.append(
                     _certify_one(
@@ -655,6 +686,12 @@ def _certify_fleet(
         # Persist the per-tier counters so hit rates accumulate across
         # runs (`repro store stats` reads them back).
         query_store.record_metrics(fleet_qstats.to_dict())
+    # Deterministic durability point: push every batched write (SQLite
+    # backend) to disk before the report is returned — callers may exit,
+    # fork, or re-open the roots immediately.
+    for tier in (store, verdict_store, query_store):
+        if tier is not None and not isinstance(tier, str):
+            tier.flush()
     ended = clock()
     report.statistics.elapsed_seconds = ended - started
     if trace.enabled:

@@ -11,35 +11,38 @@ Keys are derived from everything the summary depends on: the element's
 configuration key, a structural fingerprint of its IR program, the
 contents of its static tables (in concrete static-table mode, where they
 are baked into the summary terms), the input packet length, the
-static-table mode, and the serialization format version.  Writes are
-atomic (temp file + rename), so many worker processes can share one
-store directory without locks — the worst case under a racing write is
-one redundant computation, never a torn read.
+static-table mode, and the serialization format version.
 
-:class:`JsonFileStore` is the shared layout and maintenance machinery
-(two-level digest fan-out, atomic writes, corrupt-entry quarantine,
-garbage collection); :class:`SummaryStore` specializes it for element
-summaries, :class:`QueryStore` for sliced solver-query verdicts (the
-query cache's L3 tier), and
-:class:`repro.orchestrator.verdicts.VerdictStore` for per-pipeline
-verdict records.
+:class:`Store` is the façade every tier shares: digest-keyed entries, a
+statistics block, corrupt-entry quarantine, garbage collection.  The
+actual bytes live behind a pluggable backend
+(:mod:`repro.orchestrator.backends`) — one-file-per-entry JSON (atomic
+temp+rename writes, safe for any number of concurrent writers) or a
+batched single-file SQLite database (WAL journal, sharded worker writes,
+merge-on-join) — selected per store root and auto-detected from the disk
+layout, so both layouts behave identically through this interface.
+
+:class:`SummaryStore` specializes the façade for element summaries,
+:class:`QueryStore` for sliced solver-query verdicts (the query cache's
+L3 tier), and :class:`repro.orchestrator.verdicts.VerdictStore` for
+per-pipeline verdict records.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from ..dataplane.element import Element
 from ..obs.stats import StatisticsMixin
-from ..obs.trace import clock, wall_clock
+from ..obs.trace import clock
 from ..dataplane.fingerprint import configuration_fingerprint, program_fingerprint
 from ..symbex.engine import StaticTableMode, SymbexOptions
 from ..symbex.segment import ElementSummary
+from .backends import GcResult, make_backend
 from .errors import StoreError
 from .serialize import FORMAT_VERSION, dumps_summary, loads_summary
 
@@ -47,14 +50,12 @@ __all__ = [
     "GcResult",
     "JsonFileStore",
     "QueryStore",
+    "Store",
     "StoreStatistics",
     "SummaryStore",
     "program_fingerprint",  # re-exported from repro.dataplane.fingerprint
     "summary_key",
 ]
-
-#: Suffix given to quarantined (corrupt) entries; never matches the entry glob.
-_QUARANTINE_SUFFIX = ".corrupt"
 
 
 def summary_key(element: Element, input_length: int, options: SymbexOptions) -> str:
@@ -91,8 +92,11 @@ class StoreStatistics(StatisticsMixin):
     """Disk-tier traffic counters.
 
     ``io_seconds`` is measured with the monotonic :func:`repro.obs.clock`
-    like every other duration in the repo — wall clock appears in this
-    module only where file mtimes force it (:meth:`JsonFileStore.gc`).
+    like every other duration in the repo — wall clock appears in the
+    store layer only where entry mtimes force it (gc age horizons).
+    ``busy_retries`` counts SQLite lock collisions absorbed by the
+    jittered-backoff retry loop (always 0 on the JSON backend, whose
+    atomic renames never contend).
     """
 
     hits: int = 0
@@ -101,45 +105,52 @@ class StoreStatistics(StatisticsMixin):
     corrupt_entries: int = 0
     quarantined: int = 0
     bytes_written: int = 0
+    busy_retries: int = 0
     io_seconds: float = 0.0
 
 
-@dataclass
-class GcResult:
-    """What one :meth:`JsonFileStore.gc` sweep did."""
+class Store:
+    """Shared façade for the content-addressed store tiers.
 
-    removed_entries: int = 0
-    removed_debris: int = 0
-    kept_entries: int = 0
-    bytes_freed: int = 0
-
-    def summary(self) -> str:
-        return (
-            f"removed {self.removed_entries} entries and {self.removed_debris} debris files "
-            f"({self.bytes_freed} bytes), kept {self.kept_entries} entries"
-        )
-
-
-class JsonFileStore:
-    """Shared machinery for content-addressed JSON stores.
-
-    Entries live at ``<root>/<digest[:2]>/<digest>.json``; the two-level
-    fan-out keeps directories small for fleet-sized stores.  Subclasses
-    supply the digest computation and the payload encode/decode.
+    Subclasses supply the digest computation and the payload
+    encode/decode; raw entry bytes go through ``self.backend``
+    (see :func:`repro.orchestrator.backends.make_backend` for how the
+    implementation is chosen).  ``shard`` opens the SQLite backend in its
+    worker view — reads from the main database, writes to a private
+    ``shards/<shard>.sqlite`` that the parent folds in via
+    :meth:`merge_shards` after the pool joins.  The JSON backend ignores
+    ``shard``: its per-entry writes are already atomic in place.
     """
 
     #: Human label used in error messages ("summary store", "verdict store").
     kind = "store"
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        backend: Optional[str] = None,
+        shard: Optional[str] = None,
+    ) -> None:
         self.root = Path(root).expanduser()
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise StoreError(f"cannot create {self.kind} at {self.root}: {exc}") from exc
         self.statistics = StoreStatistics()
+        self.backend = make_backend(
+            self.root,
+            requested=backend,
+            kind=self.kind,
+            statistics=self.statistics,
+            shard=shard,
+        )
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
 
     def _path(self, digest: str) -> Path:
+        """The JSON-layout path of an entry (meaningless under SQLite)."""
         return self.root / digest[:2] / f"{digest}.json"
 
     # -- raw entry I/O ---------------------------------------------------------------
@@ -151,122 +162,122 @@ class JsonFileStore:
         age horizon means "not *touched* for N days" — a store that is
         read every night never loses its warm entries to eviction.
         """
-        path = self._path(digest)
         started = clock()
-        try:
-            text = path.read_text()
-        except FileNotFoundError:
+        text = self.backend.read(digest)
+        self.statistics.io_seconds += clock() - started
+        if text is None:
             self.statistics.misses += 1
             return None
-        except OSError as exc:
-            raise StoreError(f"cannot read {self.kind} entry {path}: {exc}") from exc
-        try:
-            os.utime(path, None)
-        except OSError:  # pragma: no cover - racing removal: entry already gone
-            pass
-        self.statistics.io_seconds += clock() - started
         return text
 
-    def write_entry(self, digest: str, text: str) -> None:
-        """Atomically persist an entry (temp file + rename; safe across processes)."""
-        path = self._path(digest)
+    def read_entries(self, digests) -> dict:
+        """Bulk read: present entries as ``{digest: text}``; absences count as misses.
+
+        One chunked query on the SQLite backend, a plain loop on JSON
+        files — callers holding many digests (delta-mode verdict lookup)
+        should prefer this over N :meth:`read_entry` calls.
+        """
+        digests = list(digests)
         started = clock()
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            temp = path.parent / f".{digest}.{os.getpid()}.tmp"
-            temp.write_text(text)
-            os.replace(temp, path)
-        except OSError as exc:
-            raise StoreError(f"cannot write {self.kind} entry {path}: {exc}") from exc
+        found = self.backend.read_many(digests)
+        self.statistics.io_seconds += clock() - started
+        self.statistics.misses += sum(1 for digest in digests if digest not in found)
+        return found
+
+    def write_entry(self, digest: str, text: str) -> None:
+        """Persist an entry (atomically, or batched until the next flush)."""
+        started = clock()
+        self.backend.write(digest, text)
+        self.statistics.io_seconds += clock() - started
         self.statistics.puts += 1
         self.statistics.bytes_written += len(text)
-        self.statistics.io_seconds += clock() - started
 
     def quarantine_entry(self, digest: str) -> None:
         """Move a corrupt entry aside so warm runs stop re-parsing garbage.
 
-        The entry is renamed to ``<digest>.json.corrupt`` (preserved for
-        post-mortem; swept by :meth:`gc`); if even the rename fails it is
-        deleted outright.  Either way the digest reads as a plain miss —
-        and parses nothing — from now on.
+        JSON entries are renamed to ``<digest>.json.corrupt`` (preserved
+        for post-mortem; swept by :meth:`gc`); SQLite rows are deleted —
+        the garbage payload sits inside a healthy database, so there is
+        nothing worth keeping aside.  Either way the digest reads as a
+        plain miss — and parses nothing — from now on.
         """
-        path = self._path(digest)
-        try:
-            os.replace(path, path.with_name(path.name + _QUARANTINE_SUFFIX))
-        except OSError:
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - racing unlink: entry already gone
-                pass
+        self.backend.quarantine(digest)
         self.statistics.corrupt_entries += 1
         self.statistics.quarantined += 1
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Push any buffered writes to disk (a no-op on the JSON backend)."""
+        started = clock()
+        self.backend.flush()
+        self.statistics.io_seconds += clock() - started
+
+    def close(self) -> None:
+        """Flush and release the backend (file handles, connections)."""
+        self.backend.close()
+
+    def merge_shards(self) -> int:
+        """Fold every worker shard into the main store; returns entries merged.
+
+        Must run after the worker pool has joined (no live shard
+        writers); the JSON backend has no shards and returns 0.
+        """
+        started = clock()
+        merged = self.backend.merge_shards()
+        self.statistics.io_seconds += clock() - started
+        return merged
 
     # -- maintenance -----------------------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return self.backend.count()
 
     def size_bytes(self) -> int:
         """Total bytes held by live entries (quarantine/debris excluded)."""
-        return sum(path.stat().st_size for path in self.root.glob("??/*.json"))
+        return self.backend.size_bytes()
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
-        removed = 0
-        for path in self.root.glob("??/*.json"):
-            path.unlink(missing_ok=True)
-            removed += 1
-        return removed
+        return self.backend.clear()
 
     def gc(self, older_than_seconds: Optional[float] = None) -> GcResult:
-        """Sweep the store directory.
+        """Sweep the store root.
 
-        Always removes debris — quarantined ``.corrupt`` entries and
-        orphaned ``.tmp`` files from crashed writers (only those older
+        Always removes debris — quarantined ``.corrupt`` files and
+        orphaned temp/shard files from crashed writers (only those older
         than a minute, so in-flight writes are never torn).  With
         ``older_than_seconds``, additionally evicts live entries whose
         modification time is older than the horizon — the store is a
         cache, so eviction costs recomputation, never correctness.
+        Entries unlinked by a concurrent writer mid-sweep are tolerated
+        (neither kept nor removed).
         """
-        result = GcResult()
-        # The one legitimate wall-clock read in the store layer: the age
-        # horizon compares against file *mtimes*, which are wall-clock
-        # timestamps — perf_counter has no defined epoch to compare them to.
-        now = wall_clock()
-        for path in self.root.glob(f"??/*{_QUARANTINE_SUFFIX}"):
-            result.bytes_freed += _size_of(path)
-            path.unlink(missing_ok=True)
-            result.removed_debris += 1
-        for path in self.root.glob("??/.*.tmp"):
-            if now - _mtime_of(path, now) > 60:
-                result.bytes_freed += _size_of(path)
-                path.unlink(missing_ok=True)
-                result.removed_debris += 1
-        for path in self.root.glob("??/*.json"):
-            if older_than_seconds is not None and now - _mtime_of(path, now) > older_than_seconds:
-                result.bytes_freed += _size_of(path)
-                path.unlink(missing_ok=True)
-                result.removed_entries += 1
-            else:
-                result.kept_entries += 1
-        return result
+        return self.backend.gc(older_than_seconds)
+
+    # -- persisted tier metrics ------------------------------------------------------
+
+    def load_metrics(self) -> dict:
+        """The accumulated cross-run counters, or ``{}`` when none were recorded."""
+        return self.backend.load_metrics()
+
+    def record_metrics(self, counters: dict) -> dict:
+        """Fold one run's counters into the store's cumulative totals.
+
+        Numeric values key-sum into the stored ones (the totals are
+        cumulative across runs).  The JSON backend writes the sidecar
+        atomically (concurrent recorders lose at worst one increment);
+        the SQLite backend folds inside a transaction and loses none.
+        """
+        return self.backend.record_metrics(counters)
 
 
-def _size_of(path: Path) -> int:
-    try:
-        return path.stat().st_size
-    except OSError:  # pragma: no cover - racing removal
-        return 0
+#: Backward-compatible alias: the pre-seam name of the base class, kept so
+#: existing imports (and pickled worker payloads from older runs) resolve.
+JsonFileStore = Store
 
 
-def _mtime_of(path: Path, default: float) -> float:
-    try:
-        return path.stat().st_mtime
-    except OSError:  # pragma: no cover - racing removal
-        return default
-
-
-class SummaryStore(JsonFileStore):
+class SummaryStore(Store):
     """Content-addressed persistence for element summaries."""
 
     kind = "summary store"
@@ -313,7 +324,7 @@ class SummaryStore(JsonFileStore):
         self.write_entry(digest, dumps_summary(summary))
 
 
-class QueryStore(JsonFileStore):
+class QueryStore(Store):
     """Content-addressed persistence for sliced solver-query verdicts.
 
     The **L3 tier** of :class:`repro.smt.qcache.QueryCache`: entries are
@@ -331,13 +342,13 @@ class QueryStore(JsonFileStore):
     kind = "query store"
 
     def contains(self, digest: str) -> bool:
-        """Entry-existence probe (one stat), without reading or counting a hit.
+        """Entry-existence probe, without reading or counting a hit.
 
         The cache uses it to skip re-persisting entries its in-memory
         shortcut tiers re-derived — on a warm run every slice answer is
-        already on disk, and a stat is far cheaper than a tempfile+rename
+        already on disk, and an existence probe is far cheaper than a
         rewrite."""
-        return self._path(digest).is_file()
+        return self.backend.contains(digest)
 
     def load_payload(self, digest: str) -> Optional[dict]:
         """The stored payload dict, or ``None`` (a miss) when absent/corrupt."""
@@ -357,42 +368,3 @@ class QueryStore(JsonFileStore):
 
     def save_payload(self, digest: str, payload: dict) -> None:
         self.write_entry(digest, json.dumps(payload, sort_keys=True, separators=(",", ":")))
-
-    # -- persisted tier metrics ------------------------------------------------------
-
-    #: Sidecar holding cumulative :class:`repro.smt.qcache.QueryCacheStatistics`
-    #: counters across every run that used this store — what lets
-    #: ``repro store stats`` report tier hit *rates*, not just entry counts.
-    _METRICS_NAME = "metrics.json"
-
-    def load_metrics(self) -> dict:
-        """The accumulated tier counters, or ``{}`` when none were recorded."""
-        path = self.root / self._METRICS_NAME
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return {}
-        return payload if isinstance(payload, dict) else {}
-
-    def record_metrics(self, counters: dict) -> dict:
-        """Fold one run's tier counters into the sidecar; returns the new totals.
-
-        Numeric values key-sum into the stored ones (the sidecar is
-        cumulative across runs); the write is atomic like every entry
-        write, so concurrent recorders lose at worst one run's increment,
-        never the file.
-        """
-        totals = self.load_metrics()
-        for key, value in counters.items():
-            if isinstance(value, bool) or not isinstance(value, (int, float)):
-                continue
-            totals[key] = totals.get(key, 0) + value
-        totals["runs"] = int(totals.get("runs", 0)) + 1
-        path = self.root / self._METRICS_NAME
-        temp = self.root / f".{self._METRICS_NAME}.{os.getpid()}.tmp"
-        try:
-            temp.write_text(json.dumps(totals, sort_keys=True))
-            os.replace(temp, path)
-        except OSError as exc:
-            raise StoreError(f"cannot write {self.kind} metrics {path}: {exc}") from exc
-        return totals

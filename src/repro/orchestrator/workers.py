@@ -22,6 +22,7 @@ reports to serial ones.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from ..dataplane.element import Element
@@ -95,6 +96,24 @@ def worker_query_cache(options: SymbexOptions) -> Optional[QueryCache]:
     )
 
 
+def worker_shard_tag() -> str:
+    """The per-worker store shard name: stable within a process, unique across a pool."""
+    return f"w{os.getpid()}"
+
+
+def worker_summary_store(store_root: Optional[str]) -> Optional[SummaryStore]:
+    """Open the shared summary store the way a worker process must.
+
+    Reads hit the main store; writes land in this worker's private shard
+    (SQLite backend) or go atomically in place (JSON backend, which has
+    no shards).  The parent folds shards in after the pool joins — see
+    :meth:`repro.orchestrator.store.Store.merge_shards`.
+    """
+    if store_root is None:
+        return None
+    return SummaryStore(store_root, shard=worker_shard_tag())
+
+
 def merge_query_entries(
     store_root: Optional[str], entries: Sequence[Tuple[str, dict]]
 ) -> None:
@@ -107,6 +126,7 @@ def merge_query_entries(
         if digest not in written:
             written.add(digest)
             store.save_payload(digest, payload)
+    store.close()  # push the batched writes before the store object goes away
 
 
 def drain_observability(query_cache: Optional[QueryCache] = None) -> dict:
@@ -181,40 +201,46 @@ def _summarize_worker(
     element, input_length, options, store_root = payload
     if options.trace:
         enable()
-    store = SummaryStore(store_root) if store_root is not None else None
-    if store is not None:
-        stored = store.load(element, input_length, options)
-        if stored is not None:
-            return LOADED, dumps_summary(stored), [], (0, 0), {}
-    query_cache = worker_query_cache(options)
-    engine = SymbolicEngine(options, query_cache=query_cache)
+    store = worker_summary_store(store_root)
     try:
-        summary = engine.summarize_element(
-            element.program,
-            input_length,
-            tables=element.state.tables(),
-            element_name=element.name,
-            configuration_key=element.configuration_key(),
-        )
-    except PathExplosionError as exc:
-        # A blown budget yields no summary; its partial solver work is
-        # uncounted, matching the serial path (which raises the same way).
+        if store is not None:
+            stored = store.load(element, input_length, options)
+            if stored is not None:
+                return LOADED, dumps_summary(stored), [], (0, 0), {}
+        query_cache = worker_query_cache(options)
+        engine = SymbolicEngine(options, query_cache=query_cache)
+        try:
+            summary = engine.summarize_element(
+                element.program,
+                input_length,
+                tables=element.state.tables(),
+                element_name=element.name,
+                configuration_key=element.configuration_key(),
+            )
+        except PathExplosionError as exc:
+            # A blown budget yields no summary; its partial solver work is
+            # uncounted, matching the serial path (which raises the same way).
+            return (
+                EXPLODED,
+                str(exc),
+                query_cache.new_entries if query_cache else [],
+                (0, 0),
+                drain_observability(query_cache),
+            )
+        if store is not None:
+            store.save(element, input_length, options, summary)
         return (
-            EXPLODED,
-            str(exc),
+            COMPUTED,
+            dumps_summary(summary),
             query_cache.new_entries if query_cache else [],
-            (0, 0),
+            (summary.sat_core_calls, summary.qcache_hits),
             drain_observability(query_cache),
         )
-    if store is not None:
-        store.save(element, input_length, options, summary)
-    return (
-        COMPUTED,
-        dumps_summary(summary),
-        query_cache.new_entries if query_cache else [],
-        (summary.sat_core_calls, summary.qcache_hits),
-        drain_observability(query_cache),
-    )
+    finally:
+        if store is not None:
+            # Push this job's write into the worker's shard now: the pool
+            # may recycle or kill the process before any destructor runs.
+            store.close()
 
 
 def summarize_jobs(
@@ -241,6 +267,12 @@ def summarize_jobs(
         store_root = str(store.root) if isinstance(store, SummaryStore) else str(store)
     payloads = [(element, length, options, store_root) for element, length in jobs]
     results = run_tasks(_summarize_worker, payloads, workers=workers)
+    if store_root is not None:
+        # The pool has joined (run_tasks tears it down per call), so no
+        # shard has a live writer: fold every worker shard into the main
+        # store in one bulk copy each.  A no-op on the JSON backend.
+        main_store = store if isinstance(store, SummaryStore) else SummaryStore(store_root)
+        main_store.merge_shards()
     merge_query_entries(
         options.query_cache_dir,
         [entry for _status, _text, entries, _work, _extras in results for entry in entries],

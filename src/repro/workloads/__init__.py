@@ -18,6 +18,7 @@ from .pipelines import (
     ip_router_elements,
     ip_router_pipeline,
     nat_gateway_pipeline,
+    store_scale_catalog,
     synthetic_branchy_element,
     synthetic_pipeline,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "random_classifier_rules",
     "random_ip_packets",
     "random_routing_table",
+    "store_scale_catalog",
     "synthetic_branchy_element",
     "synthetic_pipeline",
     "well_formed_ip_packet",

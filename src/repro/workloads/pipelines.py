@@ -219,3 +219,47 @@ def fleet_catalog(
         monitored_router,
     ]
     return [templates[index % len(templates)](index) for index in range(count)]
+
+
+def store_scale_catalog(count: int = 1000, name_prefix: str = "scale") -> List[Pipeline]:
+    """``count`` *distinct* pipelines built from a tiny shared element pool.
+
+    The store-scaling workload needs the opposite mix from
+    :func:`fleet_catalog`: a catalog big enough that per-pipeline store
+    traffic (verdict records, fingerprints) dominates, without paying
+    ``count`` symbolic executions.  Pipelines are chains over a pool of
+    six :class:`SyntheticBranchyElement` configurations — every distinct
+    *sequence* of pool configurations is a distinct pipeline fingerprint
+    (wiring order is fingerprinted), so the catalog yields ``count``
+    verdict-store entries while Step 1 summarizes only the six pool
+    configurations.  Enumeration is deterministic (mixed-radix over the
+    pool, shortest chains first), so two runs — or two store backends —
+    certify byte-identical catalogs.
+    """
+    pool = [(branches, offset) for branches in (1, 2, 3) for offset in (0, 4)]
+    pipelines: List[Pipeline] = []
+    chain_length = 2
+    code = 0
+    while len(pipelines) < count:
+        if code >= len(pool) ** chain_length:
+            chain_length += 1
+            code = 0
+            continue
+        digits: List[int] = []
+        value = code
+        for _ in range(chain_length):
+            digits.append(value % len(pool))
+            value //= len(pool)
+        chain = [
+            SyntheticBranchyElement(
+                branches=pool[digit][0],
+                offset=pool[digit][1],
+                name=f"pool_b{position}",
+            )
+            for position, digit in enumerate(digits)
+        ]
+        pipelines.append(
+            Pipeline.chain(chain, name=f"{name_prefix}-{len(pipelines)}")
+        )
+        code += 1
+    return pipelines

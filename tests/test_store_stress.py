@@ -1,0 +1,147 @@
+"""Concurrent-writer stress for the store backends.
+
+The container that runs ``certify_fleet`` clamps its pool to the CPU
+count, so these tests drive :mod:`multiprocessing` directly: N real
+processes hammering one store root.  The JSON backend survives on atomic
+renames; the SQLite backend must absorb lock contention through its busy
+timeout + jittered-backoff retry (writing the main database directly)
+and must lose nothing when writers go through per-worker shards instead.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.orchestrator import QueryStore
+from repro.orchestrator.workers import worker_shard_tag
+
+BACKENDS = ("json", "sqlite")
+#: Scaled up by the CI store-stress job; the defaults keep the local
+#: tier-1 run fast while still forcing real lock contention.
+WRITERS = int(os.environ.get("REPRO_STRESS_WRITERS", "4"))
+ENTRIES_PER_WRITER = int(os.environ.get("REPRO_STRESS_ENTRIES", "40"))
+
+
+def _context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        pytest.skip("fork start method unavailable")
+
+
+def _digest(writer, index):
+    return f"{writer:02d}{index:062d}"
+
+
+def _hammer_main(root, backend, writer):
+    """Write a block of entries straight into the shared (main) store."""
+    store = QueryStore(root, backend=backend)
+    for index in range(ENTRIES_PER_WRITER):
+        store.save_payload(_digest(writer, index), {"writer": writer, "index": index})
+        if index % 7 == 0:
+            store.flush()  # interleave real commits with buffered writes
+    store.close()
+
+
+def _hammer_shard(root, writer):
+    """Write a block of entries through this process's private shard view."""
+    store = QueryStore(root, shard=worker_shard_tag())
+    for index in range(ENTRIES_PER_WRITER):
+        store.save_payload(_digest(writer, index), {"writer": writer, "index": index})
+    store.close()
+
+
+def _record_runs(root, backend):
+    store = QueryStore(root, backend=backend)
+    for _ in range(5):
+        store.record_metrics({"ticks": 1})
+    store.close()
+
+
+def _run_writers(target, arguments):
+    context = _context()
+    processes = [context.Process(target=target, args=args) for args in arguments]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+    assert all(process.exitcode == 0 for process in processes), (
+        f"writer crashed: exit codes {[p.exitcode for p in processes]}"
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_concurrent_writers_one_root(backend, tmp_path):
+    """N processes appending to one store root: every entry lands, none torn."""
+    root = str(tmp_path)
+    QueryStore(root, backend=backend).close()  # pin the layout before the race
+    _run_writers(
+        _hammer_main, [(root, backend, writer) for writer in range(WRITERS)]
+    )
+    store = QueryStore(root)
+    assert store.backend_name == backend
+    assert len(store) == WRITERS * ENTRIES_PER_WRITER
+    for writer in range(WRITERS):
+        for index in (0, ENTRIES_PER_WRITER - 1):
+            payload = store.load_payload(_digest(writer, index))
+            assert payload == {"writer": writer, "index": index}
+    assert store.statistics.corrupt_entries == 0
+
+
+def test_concurrent_shard_writers_then_merge(tmp_path):
+    """The fleet protocol: workers fill private shards, the parent folds them in."""
+    root = str(tmp_path)
+    main = QueryStore(root, backend="sqlite")
+    _run_writers(_hammer_shard, [(root, writer) for writer in range(WRITERS)])
+    # Shard tags are per-pid, so the pool left one shard file per writer.
+    assert len(list((tmp_path / "shards").glob("*.sqlite"))) == WRITERS
+    assert main.merge_shards() == WRITERS * ENTRIES_PER_WRITER
+    assert len(main) == WRITERS * ENTRIES_PER_WRITER
+    assert not list((tmp_path / "shards").glob("*.sqlite"))
+    for writer in range(WRITERS):
+        payload = main.load_payload(_digest(writer, ENTRIES_PER_WRITER // 2))
+        assert payload == {"writer": writer, "index": ENTRIES_PER_WRITER // 2}
+
+
+def test_concurrent_metrics_recording(tmp_path):
+    """SQLite folds metrics transactionally: concurrent recorders lose nothing."""
+    root = str(tmp_path)
+    QueryStore(root, backend="sqlite").close()
+    _run_writers(_record_runs, [(root, "sqlite") for _ in range(WRITERS)])
+    totals = QueryStore(root).load_metrics()
+    assert totals["ticks"] == WRITERS * 5
+    assert totals["runs"] == WRITERS * 5
+
+    # The JSON sidecar is last-writer-wins per fold: increments may be
+    # lost under contention, but the sidecar itself must stay readable.
+    json_root = str(tmp_path / "json")
+    QueryStore(json_root, backend="json").save_payload("aa" + "0" * 62, {})
+    _run_writers(_record_runs, [(json_root, "json") for _ in range(WRITERS)])
+    json_totals = QueryStore(json_root).load_metrics()
+    assert 1 <= json_totals["ticks"] <= WRITERS * 5
+    assert isinstance(json.dumps(json_totals), str)
+
+
+def test_forked_child_reopens_connection(tmp_path):
+    """A store inherited through fork must not share the parent's connection."""
+    store = QueryStore(str(tmp_path), backend="sqlite")
+    store.save_payload(_digest(0, 0), {"parent": True})
+    store.flush()
+    context = _context()
+
+    def _child(root):
+        # The global `store` object was inherited via fork; using it must
+        # transparently reopen rather than corrupt the parent's handle.
+        assert store.load_payload(_digest(0, 0)) == {"parent": True}
+        store.save_payload(_digest(0, 1), {"child": True})
+        store.close()
+
+    process = context.Process(target=_child, args=(str(tmp_path),))
+    process.start()
+    process.join(timeout=60)
+    assert process.exitcode == 0
+    # The parent's handle still works after the child's reopen-and-write.
+    assert store.load_payload(_digest(0, 1)) == {"child": True}
+    assert os.getpid() == store.backend._pid
