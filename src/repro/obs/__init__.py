@@ -18,12 +18,16 @@ Span taxonomy (category → span names):
 category    spans / events
 ==========  =====================================================
 fleet       ``fleet.certify``, ``fleet.summarize``, ``fleet.pipeline``
+scheduler   ``scheduler.task`` (one per dispatched summary/verify task)
 verify      ``verify.property``, ``verify.instruction_bound``
 symbex      ``symbex.element``
 sat         ``sat.solve``
 qcache      ``qcache.hit`` / ``qcache.miss`` events (``tier`` arg)
 cache       ``cache.hit`` / ``cache.miss`` events (``tier`` arg)
 ==========  =====================================================
+
+The fleet scheduler additionally publishes ``scheduler.queue_depth``
+and ``scheduler.worker_idle_ms`` gauges via :data:`metrics`.
 
 Timing discipline: durations use :func:`clock` (monotonic,
 ``time.perf_counter``); :func:`wall_clock` exists solely for comparisons

@@ -51,6 +51,16 @@ from .impact import (
     diff_manifests,
     recertify,
 )
+from .risk import RISK_VERSION, RiskHistory, RiskProfile, RiskStore, risk_key
+from .scheduler import (
+    SCHEDULES,
+    JobGraph,
+    PersistentPool,
+    ScheduledRun,
+    SchedulerStatistics,
+    pipeline_ranks,
+    run_scheduled,
+)
 from .serialize import (
     FORMAT_VERSION,
     TermLoader,
@@ -79,7 +89,7 @@ from .verdicts import (
     property_set_fingerprint,
     verdict_key,
 )
-from .workers import run_tasks, summarize_jobs
+from .workers import WorkerPool, run_tasks, summarize_jobs
 
 __all__ = [
     "DELTA_REUSED",
@@ -87,20 +97,29 @@ __all__ = [
     "FRESH",
     "MANIFEST_VERSION",
     "RECORD_VERSION",
+    "RISK_VERSION",
+    "SCHEDULES",
     "SQLITE_FILENAME",
     "STORE_SCHEMA_VERSION",
     "CatalogImpact",
     "FleetReport",
     "FleetStatistics",
     "GcResult",
+    "JobGraph",
     "JsonFileBackend",
     "JsonFileStore",
     "MigrationResult",
     "OrchestratorError",
+    "PersistentPool",
     "PipelineCertification",
     "PipelineImpact",
     "QueryStore",
     "RecertificationReport",
+    "RiskHistory",
+    "RiskProfile",
+    "RiskStore",
+    "ScheduledRun",
+    "SchedulerStatistics",
     "SerializationError",
     "SqliteBackend",
     "Store",
@@ -111,6 +130,7 @@ __all__ = [
     "TermTable",
     "VerdictStore",
     "WorkerError",
+    "WorkerPool",
     "catalog_manifest",
     "certify_fleet",
     "decode_terms",
@@ -122,10 +142,13 @@ __all__ = [
     "loads_summary",
     "make_backend",
     "migrate_store",
+    "pipeline_ranks",
     "program_fingerprint",
     "property_fingerprint",
     "property_set_fingerprint",
     "recertify",
+    "risk_key",
+    "run_scheduled",
     "run_tasks",
     "summarize_jobs",
     "summary_from_payload",

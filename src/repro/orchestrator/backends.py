@@ -311,7 +311,7 @@ class JsonFileBackend:
     def close(self) -> None:
         pass
 
-    def merge_shards(self) -> int:
+    def merge_shards(self, only=None) -> int:
         """File stores never shard: workers write entries atomically in place."""
         return 0
 
@@ -820,20 +820,31 @@ class SqliteBackend:
         except Exception:
             pass
 
-    def merge_shards(self) -> int:
-        """Fold every ``shards/*.sqlite`` into the main database, then delete it.
+    def merge_shards(self, only=None) -> int:
+        """Fold ``shards/*.sqlite`` into the main database, then delete them.
 
         One ``ATTACH`` + ``INSERT OR REPLACE ... SELECT`` per shard — the
         whole shard lands in a single statement, which is the point of
         sharding: merge-on-join scales with the number of *workers*, not
-        the number of entries.
+        the number of entries.  ``only`` restricts the fold to the named
+        shard tags (the scheduler's incremental per-task merge); missing
+        shards — a task that wrote nothing never creates its file — are
+        silently skipped.
         """
         if self.shard is not None:
             raise StoreError("merge_shards must run on the main store, not a shard view")
         self.flush()
         assert self._write_conn is not None
         merged = 0
-        for shard_path in sorted(self.root.glob("shards/*.sqlite")):
+        if only is None:
+            shard_paths = sorted(self.root.glob("shards/*.sqlite"))
+        else:
+            shard_paths = [
+                path
+                for tag in only
+                if (path := self.root / "shards" / f"{tag}.sqlite").exists()
+            ]
+        for shard_path in shard_paths:
             try:
                 self._retry(
                     lambda p=shard_path: self._write_conn.execute(

@@ -46,11 +46,13 @@ from ..verify.pipeline_verifier import PipelineVerifier
 from ..verify.properties import Property
 from ..verify.report import InstructionBoundResult, VerificationResult
 from .errors import OrchestratorError
+from .scheduler import FIFO, OFF, SCHEDULES, SchedulerStatistics, run_scheduled
 from .store import QueryStore, SummaryStore
 from .verdicts import VerdictStore, verdict_key
 from .workers import (
     COMPUTED,
     EXPLODED,
+    WorkerPool,
     drain_observability,
     job_digest,
     merge_observability,
@@ -179,6 +181,10 @@ class FleetReport:
 
     certifications: List[PipelineCertification] = field(default_factory=list)
     statistics: FleetStatistics = field(default_factory=FleetStatistics)
+    #: Scheduler-side accounting (pool forks, idle time, retries) when the
+    #: run went through the persistent scheduler; ``None`` on the serial
+    #: and wave-synchronous paths.
+    scheduler: Optional[SchedulerStatistics] = None
 
     @property
     def certified(self) -> List[PipelineCertification]:
@@ -249,6 +255,7 @@ def _discover_jobs(
     workers: int,
     store: SummaryStore,
     qstats: Optional[QueryCacheStatistics] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Tuple[Dict[str, object], int, int]:
     """Breadth-first Step-1 over the whole catalog, deduplicated by digest.
 
@@ -258,8 +265,10 @@ def _discover_jobs(
     the new summaries, repeat.  A job that blows its path/time budget is
     simply not prefetched — the owning pipeline's own verification hits
     the same budget and reports ``unknown``, exactly as a serial run
-    would.  Returns (summaries by digest, computed count, store-hit
-    count).
+    would.  Each frontier's warm-store probes go through one bulk read
+    (:meth:`SummaryStore.load_digests`) instead of a round trip per job,
+    and ``pool`` reuses one set of worker processes across every wave.
+    Returns (summaries by digest, computed count, store-hit count).
     """
     summaries: Dict[str, object] = {}
     exploded: Set[str] = set()  # budget-blown digests: never re-batched
@@ -274,8 +283,8 @@ def _discover_jobs(
 
     while True:
         wave: List[Tuple[int, Element, int, str]] = []
-        batch: List[Tuple[Element, int]] = []
-        batch_digests: List[str] = []
+        frontier: List[Tuple[Element, int, str]] = []
+        frontier_digests: Set[str] = set()
         for index, worklist in enumerate(worklists):
             while worklist:
                 element, length = worklist.pop()
@@ -285,22 +294,29 @@ def _discover_jobs(
                 visited[index].add(key)
                 digest = job_digest(element, length, options)
                 wave.append((index, element, length, digest))
-                if digest in summaries or digest in exploded or digest in batch_digests:
+                if digest in summaries or digest in exploded or digest in frontier_digests:
                     continue
-                # Warm-store entries load in-process: no reason to ship the
-                # job to a worker only to parse the same JSON twice.
-                stored = store.load_digest(digest)
-                if stored is not None:
-                    summaries[digest] = stored
-                    loaded_count += 1
-                    continue
-                batch.append((element, length))
-                batch_digests.append(digest)
+                frontier.append((element, length, digest))
+                frontier_digests.add(digest)
         if not wave:
             break
+        # Warm-store entries load in-process — no reason to ship the job to
+        # a worker only to parse the same JSON twice — and the whole
+        # frontier probes in one bulk read, not one round trip per job.
+        stored = store.load_digests([digest for _element, _length, digest in frontier])
+        batch: List[Tuple[Element, int]] = []
+        batch_digests: List[str] = []
+        for element, length, digest in frontier:
+            summary = stored.get(digest)
+            if summary is not None:
+                summaries[digest] = summary
+                loaded_count += 1
+                continue
+            batch.append((element, length))
+            batch_digests.append(digest)
         if batch:
             results = summarize_jobs(
-                batch, options, workers=workers, store=store, qstats=qstats
+                batch, options, workers=workers, store=store, qstats=qstats, pool=pool
             )
             for digest, (status, summary, _detail) in zip(batch_digests, results):
                 if status == EXPLODED:
@@ -412,6 +428,8 @@ def certify_fleet(
     verdict_store: Optional[Union[VerdictStore, str]] = None,
     query_store: Optional[Union[QueryStore, str]] = None,
     trace: Union[bool, Tracer, NullTracer, None] = None,
+    schedule: str = FIFO,
+    risk_history=None,
 ) -> FleetReport:
     """Certify every pipeline in the catalog against every property.
 
@@ -424,6 +442,19 @@ def certify_fleet(
     symbolic execution for an unchanged catalog.  Parallel mode requires
     the shared store as its transport; an ephemeral one is created when
     none is given.
+
+    ``schedule`` picks how parallel work is ordered.  The default
+    (``fifo``, also ``risk`` / ``largest-first``) drives both steps
+    through the persistent dependency-aware scheduler
+    (:mod:`repro.orchestrator.scheduler`): one pool for the whole run,
+    no wave barriers, Step-2 verification overlapping Step-1 symbex, and
+    pipelines prioritized by the policy — ``risk`` ranks them by the
+    churn/verdict history in ``risk_history`` (a
+    :class:`repro.orchestrator.risk.RiskHistory`).  ``schedule="off"``
+    keeps the wave-synchronous path (frontier barriers, Step 2 strictly
+    after Step 1) — now over a single reused pool rather than one fork
+    per wave.  Every schedule produces identical verdicts, counters and
+    worker spans; only the order (and the wall clock) moves.
 
     A ``query_store`` (path or :class:`QueryStore`) persists the query
     cache's L3 tier: sliced solver verdicts, models and unsat cores
@@ -469,6 +500,8 @@ def certify_fleet(
             instruction_bounds,
             verdict_store,
             query_store,
+            schedule,
+            risk_history,
         )
 
 
@@ -484,10 +517,16 @@ def _certify_fleet(
     instruction_bounds: bool,
     verdict_store: Optional[Union[VerdictStore, str]],
     query_store: Optional[Union[QueryStore, str]],
+    schedule: str = FIFO,
+    risk_history=None,
 ) -> FleetReport:
     """The certification body, running under whatever tracer is active."""
     started = clock()
     options = options or SymbexOptions()
+    if schedule not in SCHEDULES:
+        raise OrchestratorError(
+            f"unknown schedule {schedule!r} (expected one of {', '.join(SCHEDULES)})"
+        )
     trace = tracer()
     if trace.enabled and not options.trace:
         # Workers learn the parent is tracing through the options they are
@@ -567,62 +606,102 @@ def _certify_fleet(
     # the shared cache, parallel runs fold in what each worker shipped.
     fleet_qstats = QueryCacheStatistics()
     try:
-        if workers > 1 and fresh_pipelines:
+        if workers > 1 and fresh_pipelines and schedule != OFF:
             assert store is not None
-            # Step 1: catalog-wide deduplicated summarization into the store.
-            step1_started = clock()
-            summaries, computed, loaded = _discover_jobs(
-                fresh_pipelines, input_lengths, options, workers, store,
+            # The persistent scheduler: one pool, no wave barriers, Step-2
+            # verification overlapping Step-1 symbex, shards merged
+            # incrementally as each task's result arrives.
+            scheduled = run_scheduled(
+                fresh_pipelines,
+                properties,
+                input_lengths,
+                options,
+                workers,
+                store,
+                max_counterexamples=max_counterexamples,
+                confirm_by_replay=confirm_by_replay,
+                instruction_bounds=instruction_bounds,
+                schedule=schedule,
+                risk_history=risk_history,
                 qstats=fleet_qstats,
             )
-            if trace.enabled:
-                trace.record_span(
-                    "fleet.summarize",
-                    "fleet",
-                    step1_started,
-                    clock(),
-                    jobs=len(summaries),
-                    computed=computed,
-                    loaded=loaded,
-                )
-            report.statistics.distinct_summary_jobs = len(summaries)
-            report.statistics.summaries_computed = computed
-            report.statistics.store_hits = loaded
+            report.scheduler = scheduled.statistics
+            report.statistics.distinct_summary_jobs = len(scheduled.summaries)
+            report.statistics.summaries_computed = scheduled.computed
+            report.statistics.store_hits = scheduled.loaded
             # Step-1 solver work happened in worker forks; the counters
             # ride back on the computed summaries (store-loaded ones are
-            # rightly zero), so parallel runs account like serial ones.
-            for summary in summaries.values():
+            # rightly zero), so scheduled runs account like serial ones.
+            for summary in scheduled.summaries.values():
                 report.statistics.sat_core_calls += getattr(summary, "sat_core_calls", 0)
                 report.statistics.qcache_hits += getattr(summary, "qcache_hits", 0)
-            # Step 2: per-pipeline composition checks, hydrated from the store.
-            payloads = [
-                (
-                    pipeline,
-                    list(properties),
-                    tuple(input_lengths),
-                    options,
-                    str(store.root),
-                    max_counterexamples,
-                    confirm_by_replay,
-                    instruction_bounds,
-                )
-                for pipeline in fresh_pipelines
-            ]
-            shipped_entries: List[tuple] = []
-            for certification, misses, l2_hits, query_entries, extras in run_tasks(
-                _certify_worker, payloads, workers=workers
-            ):
+            for position in range(len(fresh_pipelines)):
+                certification, misses, l2_hits = scheduled.step2[position]
                 fresh_certifications.append(certification)
-                # Worker-side misses are real symbolic executions (lengths
-                # Step 1 could not discover, e.g. past an exploded element);
-                # worker-side store loads are rehydration, tracked apart
-                # from the avoided-work counter.
                 report.statistics.summaries_computed += misses
                 report.statistics.step2_store_loads += l2_hits
-                shipped_entries.extend(query_entries)
-                merge_observability(extras, fleet_qstats)
-            # Step-2 pool has joined: fold worker shards (SQLite backend)
-            # into the main store before anyone reads it cold.
+            merge_query_entries(options.query_cache_dir, scheduled.query_entries)
+        elif workers > 1 and fresh_pipelines:
+            assert store is not None
+            # Wave-synchronous fallback (schedule="off"): one *shared* pool
+            # reused across every discovery wave and Step 2, instead of the
+            # historical fork-per-wave churn.
+            with WorkerPool(workers) as shared_pool:
+                # Step 1: catalog-wide deduplicated summarization into the store.
+                step1_started = clock()
+                summaries, computed, loaded = _discover_jobs(
+                    fresh_pipelines, input_lengths, options, workers, store,
+                    qstats=fleet_qstats, pool=shared_pool,
+                )
+                if trace.enabled:
+                    trace.record_span(
+                        "fleet.summarize",
+                        "fleet",
+                        step1_started,
+                        clock(),
+                        jobs=len(summaries),
+                        computed=computed,
+                        loaded=loaded,
+                    )
+                report.statistics.distinct_summary_jobs = len(summaries)
+                report.statistics.summaries_computed = computed
+                report.statistics.store_hits = loaded
+                # Step-1 solver work happened in worker forks; the counters
+                # ride back on the computed summaries (store-loaded ones are
+                # rightly zero), so parallel runs account like serial ones.
+                for summary in summaries.values():
+                    report.statistics.sat_core_calls += getattr(summary, "sat_core_calls", 0)
+                    report.statistics.qcache_hits += getattr(summary, "qcache_hits", 0)
+                # Step 2: per-pipeline composition checks, hydrated from the store.
+                payloads = [
+                    (
+                        pipeline,
+                        list(properties),
+                        tuple(input_lengths),
+                        options,
+                        str(store.root),
+                        max_counterexamples,
+                        confirm_by_replay,
+                        instruction_bounds,
+                    )
+                    for pipeline in fresh_pipelines
+                ]
+                shipped_entries: List[tuple] = []
+                for certification, misses, l2_hits, query_entries, extras in run_tasks(
+                    _certify_worker, payloads, workers=workers, pool=shared_pool
+                ):
+                    fresh_certifications.append(certification)
+                    # Worker-side misses are real symbolic executions (lengths
+                    # Step 1 could not discover, e.g. past an exploded element);
+                    # worker-side store loads are rehydration, tracked apart
+                    # from the avoided-work counter.
+                    report.statistics.summaries_computed += misses
+                    report.statistics.step2_store_loads += l2_hits
+                    shipped_entries.extend(query_entries)
+                    merge_observability(extras, fleet_qstats)
+            # The shared pool is torn down (results all in, shards
+            # flushed): fold worker shards (SQLite backend) into the main
+            # store before anyone reads it cold.
             store.merge_shards()
             merge_query_entries(options.query_cache_dir, shipped_entries)
         elif fresh_pipelines:

@@ -45,6 +45,8 @@ from ..symbex.engine import StaticTableMode, SymbexOptions
 from ..verify.properties import Property
 from .errors import OrchestratorError
 from .fleet import FleetReport, certify_fleet
+from .risk import RiskHistory, RiskStore
+from .scheduler import FIFO
 from .store import QueryStore, SummaryStore
 from .verdicts import VerdictStore
 
@@ -325,6 +327,8 @@ def recertify(
     instruction_bounds: bool = False,
     query_store: Optional[Union[QueryStore, str]] = None,
     trace: Union[bool, Tracer, NullTracer, None] = None,
+    schedule: str = FIFO,
+    risk_store: Optional[Union[RiskStore, str]] = None,
 ) -> RecertificationReport:
     """Re-certify a catalog, doing work proportional to what changed.
 
@@ -336,10 +340,22 @@ def recertify(
     cannot explain *why* the changed ones changed.  ``query_store``
     persists the solver-level L3 query-cache tier, exactly as in
     :func:`certify_fleet`.
+
+    ``schedule`` is forwarded to the fleet scheduler; a ``risk_store``
+    (path or :class:`~repro.orchestrator.risk.RiskStore`) both feeds
+    ``schedule="risk"`` — pipelines with churny or violating history are
+    certified first — and is updated from this run's manifest and
+    verdicts, so the history accumulates as a side effect of the normal
+    delta workflow.
     """
     options = options or SymbexOptions()
     manifest = catalog_manifest(pipelines, options)
     impact = diff_manifests(baseline, manifest) if baseline is not None else None
+    history: Optional[RiskHistory] = None
+    if risk_store is not None:
+        history = RiskHistory(
+            risk_store if isinstance(risk_store, RiskStore) else RiskStore(risk_store)
+        )
     report = certify_fleet(
         pipelines,
         properties,
@@ -353,7 +369,12 @@ def recertify(
         verdict_store=verdict_store,
         query_store=query_store,
         trace=trace,
+        schedule=schedule,
+        risk_history=history,
     )
+    if history is not None:
+        # Fold this run back into the history the next run ranks with.
+        history.record(manifest, report.verdicts())
     for certification in report.certifications:
         pipeline_impact = impact.by_name(certification.pipeline_name) if impact else None
         if certification.reused:

@@ -1,0 +1,754 @@
+"""Persistent dependency-aware fleet scheduler: no wave barriers, no pool churn.
+
+The wave-synchronous path in :mod:`repro.orchestrator.fleet` runs Step-1
+discovery in lock-step frontiers (a full join barrier per wave, a fresh
+``multiprocessing.Pool`` per :func:`~repro.orchestrator.workers.run_tasks`
+call) and gates every Step-2 verification on the *last* Step-1 summary of
+the whole catalog.  At 1,000-pipeline scale the wall clock is dominated by
+barrier idle and fork churn, not solver work.
+
+This module replaces the waves with a job graph over one long-lived pool:
+
+* :class:`JobGraph` — Step-1 summary jobs are nodes keyed by store digest;
+  when a summary lands, exactly the pipelines waiting on that digest
+  extend their worklists *immediately*, and the moment a pipeline's
+  summary set is complete its Step-2 verification job becomes ready.
+  Symbolic execution and verification overlap instead of phase-gating.
+* :class:`PersistentPool` — ``workers`` fork-context processes spawned
+  once per run, fed task-by-task over private queues (the parent holds
+  the full priority heap, so priorities are honored exactly), with
+  crashed-worker detection: a task whose process dies is re-queued under
+  a fresh attempt tag and a replacement worker is forked.
+* **Incremental shard merge** — each task writes its store entries into a
+  private per-attempt shard (``t<id>a<attempt>``) and flushes it before
+  reporting, so the parent folds that one shard into the main store the
+  moment the result arrives (``merge_shards(only=...)``) instead of
+  blocking on a straggler at pool join.
+* A priority seam (:data:`SCHEDULES`): ``fifo`` preserves catalog order,
+  ``largest-first`` fronts the widest pipelines, and ``risk`` ranks
+  pipelines by the persisted churn/verdict history of
+  :mod:`repro.orchestrator.risk` — under delta mode the likely-violating
+  few reach a verdict while bulk reuse trails.
+
+Differential guarantee: verdicts, work counters and the worker-span
+multiset equal the serial and wave-parallel paths exactly — the scheduler
+reorders work, it never changes it.  Observability: per-task
+``scheduler.task`` spans, plus ``scheduler.queue_depth`` and
+``scheduler.worker_idle_ms`` gauges in the process metrics registry.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import queue as queue_module
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..dataplane.element import Element
+from ..dataplane.pipeline import Pipeline
+from ..obs.metrics import metrics
+from ..obs.stats import StatisticsMixin
+from ..obs.trace import clock, tracer
+from ..smt.qcache import QueryCacheStatistics
+from ..symbex.engine import SymbexOptions
+from .errors import OrchestratorError
+from .serialize import loads_summary
+from .store import SummaryStore
+from .workers import (
+    EXPLODED,
+    LOADED,
+    _pool_context,
+    _summarize_worker,
+    job_digest,
+    merge_observability,
+    set_worker_shard_tag,
+)
+
+__all__ = [
+    "FIFO",
+    "LARGEST_FIRST",
+    "OFF",
+    "RISK",
+    "SCHEDULES",
+    "JobGraph",
+    "PersistentPool",
+    "ScheduledRun",
+    "SchedulerStatistics",
+    "pipeline_ranks",
+    "run_scheduled",
+]
+
+#: Priority policies accepted by ``certify_fleet(schedule=...)`` / ``--schedule``.
+OFF = "off"
+FIFO = "fifo"
+RISK = "risk"
+LARGEST_FIRST = "largest-first"
+SCHEDULES = (OFF, FIFO, RISK, LARGEST_FIRST)
+
+#: Task kinds (also the ``kind`` arg on ``scheduler.task`` spans).
+SUMMARY = "summary"
+VERIFY = "verify"
+
+
+@dataclass
+class SchedulerStatistics(StatisticsMixin):
+    """Work accounting for one scheduled run."""
+
+    MERGE_MAX = ("max_queue_depth", "workers")
+
+    workers: int = 0
+    tasks_dispatched: int = 0
+    summary_tasks: int = 0
+    verify_tasks: int = 0
+    #: Pools forked for the run — the whole point is that this is 1.
+    pools_forked: int = 0
+    workers_spawned: int = 0
+    workers_crashed: int = 0
+    tasks_retried: int = 0
+    #: Incremental per-task shard merges performed on result arrival.
+    incremental_merges: int = 0
+    max_queue_depth: int = 0
+    #: Child-measured task execution time, summed across workers.
+    worker_busy_seconds: float = 0.0
+    #: Parent-measured time workers sat without an assigned task.
+    worker_idle_seconds: float = 0.0
+    pool_lifetime_seconds: float = 0.0
+
+
+# -- priority policies ----------------------------------------------------------------
+
+
+def pipeline_ranks(
+    pipelines: Sequence[Pipeline],
+    schedule: str = FIFO,
+    risk_history=None,
+) -> List[int]:
+    """Per-pipeline priority ranks (0 = most urgent) under a policy.
+
+    ``fifo`` is catalog order; ``largest-first`` fronts pipelines with the
+    most element instances (they gate the most Step-1 work); ``risk``
+    delegates to a :class:`repro.orchestrator.risk.RiskHistory` and falls
+    back to fifo when no history is available.  Ties always break on
+    catalog index, so every policy is deterministic.
+    """
+    if schedule not in SCHEDULES:
+        raise OrchestratorError(
+            f"unknown schedule {schedule!r} (expected one of {', '.join(SCHEDULES)})"
+        )
+    indices = list(range(len(pipelines)))
+    if schedule == LARGEST_FIRST:
+        order = sorted(indices, key=lambda i: (-len(pipelines[i].elements), i))
+    elif schedule == RISK and risk_history is not None:
+        order = risk_history.rank(pipelines)
+    else:
+        order = indices
+    ranks = [0] * len(pipelines)
+    for position, index in enumerate(order):
+        ranks[index] = position
+    return ranks
+
+
+# -- the dependency graph -------------------------------------------------------------
+
+
+class JobGraph:
+    """Dependency-aware Step-1/Step-2 job graph over a catalog.
+
+    Summary jobs are keyed by store digest (the fleet-wide dedupe unit);
+    each pipeline tracks the set of digests it still needs.  Resolving a
+    digest expands exactly the waiting pipelines' downstream jobs — the
+    per-pipeline BFS of the wave path, without the cross-pipeline
+    barrier — and a pipeline whose need-set empties becomes
+    verify-ready.  A digest that blew its budget (:meth:`explode`) stops
+    expanding, and its pipelines still verify: their own Step-2 pass hits
+    the same budget and reports ``unknown``, exactly like the serial and
+    wave paths.
+
+    The graph is pure bookkeeping (no processes, no store): drive it in
+    any completion order — the reachable job set, the summary dict and
+    the verify-ready set are order-independent, which is what makes the
+    scheduler differentially testable.
+    """
+
+    def __init__(
+        self,
+        pipelines: Sequence[Pipeline],
+        input_lengths: Sequence[int],
+        options: SymbexOptions,
+    ) -> None:
+        self.pipelines = list(pipelines)
+        self.options = options
+        self.summaries: Dict[str, object] = {}
+        self.exploded: Set[str] = set()
+        #: Pipelines each unresolved digest expands on arrival.
+        self._waiters: Dict[str, List[Tuple[int, Element]]] = {}
+        #: Unresolved digests gating each pipeline's verification.
+        self._needs: List[Set[str]] = [set() for _ in pipelines]
+        self._visited: List[Set[Tuple[str, int]]] = [set() for _ in pipelines]
+        self._new_jobs: List[Tuple[str, Element, int]] = []
+        self._joined: List[Tuple[str, int]] = []
+        self._verify_ready: List[int] = []
+        self._verify_emitted: Set[int] = set()
+        for index, pipeline in enumerate(self.pipelines):
+            entries = pipeline.entry_elements()
+            if len(entries) != 1:
+                raise OrchestratorError(
+                    f"pipeline {pipeline.name!r} has {len(entries)} entry elements; "
+                    "fleet certification needs exactly one"
+                )
+            for length in input_lengths:
+                self._enqueue(index, entries[0], length)
+            self._check_ready(index)
+
+    # -- internal transitions --------------------------------------------------------
+
+    def _enqueue(self, index: int, element: Element, length: int) -> None:
+        key = (element.name, length)
+        if key in self._visited[index]:
+            return
+        self._visited[index].add(key)
+        digest = job_digest(element, length, self.options)
+        summary = self.summaries.get(digest)
+        if summary is not None:
+            self._expand(index, element, summary)
+            return
+        if digest in self.exploded:
+            return  # the branch is dead; verification reports the budget
+        waiters = self._waiters.get(digest)
+        if waiters is None:
+            self._waiters[digest] = [(index, element)]
+            self._new_jobs.append((digest, element, length))
+        else:
+            waiters.append((index, element))
+            self._joined.append((digest, index))
+        self._needs[index].add(digest)
+
+    def _expand(self, index: int, element: Element, summary) -> None:
+        for segment in summary.emit_segments:  # type: ignore[attr-defined]
+            downstream = self.pipelines[index].downstream(element, segment.port or 0)
+            if downstream is not None:
+                self._enqueue(index, downstream[0], len(segment.output_bytes))
+
+    def _check_ready(self, index: int) -> None:
+        if not self._needs[index] and index not in self._verify_emitted:
+            self._verify_emitted.add(index)
+            self._verify_ready.append(index)
+
+    # -- driver interface ------------------------------------------------------------
+
+    def resolve(self, digest: str, summary) -> None:
+        """A summary landed: expand every waiting pipeline immediately."""
+        self.summaries[digest] = summary
+        for index, element in self._waiters.pop(digest, ()):
+            self._expand(index, element, summary)
+            self._needs[index].discard(digest)
+            self._check_ready(index)
+
+    def explode(self, digest: str) -> None:
+        """The job blew its budget: stop expanding, unblock its pipelines."""
+        self.exploded.add(digest)
+        for index, _element in self._waiters.pop(digest, ()):
+            self._needs[index].discard(digest)
+            self._check_ready(index)
+
+    def waiting_on(self, digest: str) -> List[int]:
+        """Pipeline indices currently blocked on a digest (for priorities)."""
+        return [index for index, _element in self._waiters.get(digest, ())]
+
+    def take_new_jobs(self) -> List[Tuple[str, Element, int]]:
+        """Drain summary jobs discovered since the last call."""
+        jobs, self._new_jobs = self._new_jobs, []
+        return jobs
+
+    def take_joined(self) -> List[Tuple[str, int]]:
+        """Drain ``(digest, pipeline index)`` late joins to pending jobs.
+
+        A pipeline that starts waiting on a digest whose job already
+        exists may carry a better (lower) rank than the job was queued
+        with — the driver uses these events to re-prioritize, or a
+        high-priority pipeline would inherit the bulk catalog's patience
+        for its shared elements.
+        """
+        joined, self._joined = self._joined, []
+        return joined
+
+    def take_verify_ready(self) -> List[int]:
+        """Drain pipelines whose summary set completed since the last call."""
+        ready, self._verify_ready = self._verify_ready, []
+        return ready
+
+    @property
+    def settled(self) -> bool:
+        """Every discovered job resolved or exploded, every pipeline unblocked."""
+        return not self._waiters and all(not needs for needs in self._needs)
+
+
+# -- the persistent pool --------------------------------------------------------------
+
+
+@dataclass
+class _Task:
+    """One unit of pool work (a Step-1 summary or a Step-2 verification)."""
+
+    task_id: int
+    kind: str
+    key: object  # digest (summary) or pipeline index (verify)
+    fn: Callable
+    payload: object
+    priority: Tuple
+    label: str
+    attempt: int = 1
+
+    @property
+    def shard_tag(self) -> str:
+        return f"t{self.task_id}a{self.attempt}"
+
+
+def _pool_worker_loop(tasks, results) -> None:
+    """Worker body: run tasks until the ``None`` sentinel arrives.
+
+    Each task runs under its per-attempt shard tag and reports
+    ``(pid, task_id, shard_tag, ok, started, ended, payload)``; the
+    shard tag travels back so the parent merges exactly the shard this
+    attempt flushed, even if the task was retried meanwhile.  Failures
+    ship as data — one bad task must not tear the worker down.
+    """
+    pid = os.getpid()
+    while True:
+        item = tasks.get()
+        if item is None:
+            break
+        task_id, shard_tag, fn, payload = item
+        set_worker_shard_tag(shard_tag)
+        started = clock()
+        try:
+            result = fn(payload)
+        except BaseException as exc:  # noqa: BLE001 - shipped as data, see docstring
+            results.put(
+                (pid, task_id, shard_tag, False, started, clock(),
+                 f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            results.put((pid, task_id, shard_tag, True, started, clock(), result))
+        finally:
+            set_worker_shard_tag(None)
+
+
+class _WorkerHandle:
+    """Parent-side record of one pool process."""
+
+    __slots__ = ("process", "tasks", "current", "idle_since")
+
+    def __init__(self, process, tasks) -> None:
+        self.process = process
+        self.tasks = tasks
+        self.current: Optional[_Task] = None
+        self.idle_since: Optional[float] = clock()
+
+
+class PersistentPool:
+    """``workers`` fork-context processes, spawned once, fed task-by-task.
+
+    Each worker owns a private task queue (the parent dispatches exactly
+    one task to exactly one idle worker, so the parent-side priority heap
+    is honored precisely) and reports on one shared result queue.  A
+    worker that dies mid-task is detected on the next poll: its task is
+    surfaced as a ``("crashed", task)`` event for the driver to re-queue,
+    and a replacement process is forked so capacity never decays.
+    """
+
+    def __init__(self, workers: int, statistics: SchedulerStatistics) -> None:
+        self.statistics = statistics
+        self._context = _pool_context()
+        self._results = self._context.Queue()
+        self._workers: List[_WorkerHandle] = []
+        self._in_flight: Dict[int, _Task] = {}
+        self._closed = False
+        self._started = clock()
+        statistics.workers = workers
+        statistics.pools_forked += 1
+        for _ in range(max(1, workers)):
+            self._spawn()
+
+    def _spawn(self) -> _WorkerHandle:
+        tasks = self._context.Queue()
+        process = self._context.Process(
+            target=_pool_worker_loop, args=(tasks, self._results), daemon=True
+        )
+        process.start()
+        handle = _WorkerHandle(process, tasks)
+        self._workers.append(handle)
+        self.statistics.workers_spawned += 1
+        return handle
+
+    # -- capacity --------------------------------------------------------------------
+
+    def _idle_worker(self) -> Optional[_WorkerHandle]:
+        for handle in self._workers:
+            if handle.current is None and handle.process.is_alive():
+                return handle
+        return None
+
+    @property
+    def has_idle(self) -> bool:
+        return self._idle_worker() is not None
+
+    @property
+    def busy_count(self) -> int:
+        return len(self._in_flight)
+
+    # -- dispatch / events -----------------------------------------------------------
+
+    def dispatch(self, task: _Task) -> None:
+        handle = self._idle_worker()
+        if handle is None:  # caller checked has_idle; defensive
+            raise OrchestratorError("dispatch with no idle worker")
+        if handle.idle_since is not None:
+            self.statistics.worker_idle_seconds += clock() - handle.idle_since
+            handle.idle_since = None
+        handle.current = task
+        self._in_flight[task.task_id] = task
+        self.statistics.tasks_dispatched += 1
+        handle.tasks.put((task.task_id, task.shard_tag, task.fn, task.payload))
+
+    def _reap_crashed(self) -> Optional[_Task]:
+        """Find one dead worker; respawn it and surface its lost task (if any)."""
+        for handle in list(self._workers):
+            if handle.process.is_alive():
+                continue
+            self._workers.remove(handle)
+            self.statistics.workers_crashed += 1
+            lost = handle.current
+            if lost is not None:
+                self._in_flight.pop(lost.task_id, None)
+            if not self._closed:
+                self._spawn()
+            if lost is not None:
+                return lost
+        return None
+
+    def next_event(self, timeout: float = 0.1):
+        """Block until something happens; returns one of two event tuples.
+
+        ``("result", pid, task, shard_tag, ok, started, ended, payload)``
+        for a completed attempt — ``task`` is ``None`` when the attempt
+        is stale (its task already finished via a retry); ``("crashed",
+        task)`` when a worker died holding a task (a replacement is
+        already forked; the driver re-queues the task).
+        """
+        while True:
+            try:
+                pid, task_id, shard_tag, ok, started, ended, payload = (
+                    self._results.get(timeout=timeout)
+                )
+            except queue_module.Empty:
+                lost = self._reap_crashed()
+                if lost is not None:
+                    return ("crashed", lost)
+                continue
+            task = self._in_flight.pop(task_id, None)
+            for handle in self._workers:
+                if handle.process.pid == pid and handle.current is not None:
+                    handle.current = None
+                    handle.idle_since = clock()
+                    break
+            if task is not None and shard_tag != task.shard_tag:
+                # A late result from a retried attempt: the retry is still
+                # in flight, so put the task back and report this attempt
+                # as stale — first completion wins, exactly once.
+                self._in_flight[task_id] = task
+                task = None
+            return ("result", pid, task, shard_tag, ok, started, ended, payload)
+
+    # -- teardown --------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        now = clock()
+        for handle in self._workers:
+            if handle.idle_since is not None:
+                self.statistics.worker_idle_seconds += now - handle.idle_since
+                handle.idle_since = None
+            try:
+                handle.tasks.put(None)
+            except (OSError, ValueError):  # pragma: no cover - broken pipe on crash
+                pass
+        for handle in self._workers:
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():  # pragma: no cover - wedged worker
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            handle.tasks.cancel_join_thread()
+            handle.tasks.close()
+        self._results.cancel_join_thread()
+        self._results.close()
+        self._workers.clear()
+        self.statistics.pool_lifetime_seconds = clock() - self._started
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# -- the driver -----------------------------------------------------------------------
+
+
+@dataclass
+class ScheduledRun:
+    """What a scheduled pass produced, in the shape the fleet layer folds."""
+
+    #: Resolved summaries by digest (exploded digests excluded) — the
+    #: ``distinct_summary_jobs`` population, with Step-1 work counters
+    #: restored on computed entries.
+    summaries: Dict[str, object] = field(default_factory=dict)
+    computed: int = 0
+    loaded: int = 0
+    #: Step-2 worker results by catalog index:
+    #: ``(certification, misses, l2_hits, query_entries, extras)`` with the
+    #: entries/extras already consumed (merged) by the scheduler.
+    step2: Dict[int, tuple] = field(default_factory=dict)
+    #: Catalog indices in verification *completion* order — what the risk
+    #: policy reorders, and what the bench asserts on.
+    verify_order: List[int] = field(default_factory=list)
+    #: L3 query-cache entries shipped by all tasks, for one parent merge.
+    query_entries: List[tuple] = field(default_factory=list)
+    statistics: SchedulerStatistics = field(default_factory=SchedulerStatistics)
+
+
+def run_scheduled(
+    pipelines: Sequence[Pipeline],
+    properties: Sequence,
+    input_lengths: Sequence[int],
+    options: SymbexOptions,
+    workers: int,
+    store: SummaryStore,
+    max_counterexamples: int = 3,
+    confirm_by_replay: bool = True,
+    instruction_bounds: bool = False,
+    schedule: str = FIFO,
+    risk_history=None,
+    qstats: Optional[QueryCacheStatistics] = None,
+    summary_worker: Optional[Callable] = None,
+    verify_worker: Optional[Callable] = None,
+) -> ScheduledRun:
+    """Drive the whole catalog through one persistent pool.
+
+    The public entry is ``certify_fleet(schedule=...)``; this function is
+    the scheduler itself, exposed so tests and benches can run it with a
+    worker count the fleet layer's cpu clamp would refuse.  ``summary_worker``
+    and ``verify_worker`` override the task callables (module-level,
+    picklable) — the crash tests inject a self-killing wrapper this way.
+
+    Priority: tasks carry ``(rank, stage, seq)`` keys — a summary job
+    inherits the best rank among the pipelines waiting on it at admission
+    time, a verification job its pipeline's rank — so under ``risk`` the
+    highest-risk pipeline's entire dependency chain, then its verdict,
+    preempt the bulk of the catalog.
+    """
+    from .fleet import _certify_worker  # deferred: fleet imports this module
+
+    if schedule == OFF:
+        raise OrchestratorError("run_scheduled called with schedule='off'")
+    summary_fn = summary_worker or _summarize_worker
+    verify_fn = verify_worker or _certify_worker
+    ranks = pipeline_ranks(pipelines, schedule, risk_history)
+    graph = JobGraph(pipelines, input_lengths, options)
+    run = ScheduledRun()
+    stats = run.statistics
+    trace = tracer()
+    registry = metrics()
+    depth_gauge = registry.gauge("scheduler.queue_depth")
+    idle_gauge = registry.gauge("scheduler.worker_idle_ms")
+    store_root = str(store.root)
+
+    heap: List[Tuple[Tuple, int, _Task]] = []
+    #: Summary tasks still queued, by digest — late joiners re-prioritize
+    #: these (a stale heap entry is skipped at pop time, lazy-deletion
+    #: style: an entry is live only while its key equals task.priority).
+    pending_summaries: Dict[str, _Task] = {}
+    dispatched_ids: Set[int] = set()
+    queued = 0
+    seq = 0
+    task_ids = iter(range(1, 1 << 30))
+    started = clock()
+    last_summary_end = started
+
+    def _push(task: _Task, requeue: bool = False) -> None:
+        nonlocal seq, queued
+        seq += 1
+        heapq.heappush(heap, (task.priority, seq, task))
+        if not requeue:
+            queued += 1
+            stats.max_queue_depth = max(stats.max_queue_depth, queued)
+
+    def _admit() -> None:
+        """Turn graph progress into heap entries until discovery quiesces."""
+        while True:
+            jobs = graph.take_new_jobs()
+            if not jobs:
+                break
+            # Satellite of the same disease the scheduler cures: probe the
+            # warm store once per admission batch, not once per job.
+            stored = store.load_digests([digest for digest, _e, _l in jobs])
+            for digest, element, length in jobs:
+                summary = stored.get(digest)
+                if summary is not None:
+                    run.loaded += 1
+                    graph.resolve(digest, summary)  # may surface more jobs
+                    continue
+                rank = min(
+                    (ranks[index] for index in graph.waiting_on(digest)),
+                    default=len(ranks),
+                )
+                task = _Task(
+                    task_id=next(task_ids),
+                    kind=SUMMARY,
+                    key=digest,
+                    fn=summary_fn,
+                    payload=(element, length, options, store_root),
+                    priority=(rank, 0),
+                    label=f"{element.name}@{length}",
+                )
+                pending_summaries[digest] = task
+                _push(task)
+        # A later discovery can hang a better-ranked pipeline on a job
+        # queued under a worse rank; hoist the still-pending task.
+        for digest, index in graph.take_joined():
+            task = pending_summaries.get(digest)
+            if task is not None and ranks[index] < task.priority[0]:
+                task.priority = (ranks[index], 0)
+                _push(task, requeue=True)
+        for index in graph.take_verify_ready():
+            _push(
+                _Task(
+                    task_id=next(task_ids),
+                    kind=VERIFY,
+                    key=index,
+                    fn=verify_fn,
+                    payload=(
+                        pipelines[index],
+                        list(properties),
+                        tuple(input_lengths),
+                        options,
+                        store_root,
+                        max_counterexamples,
+                        confirm_by_replay,
+                        instruction_bounds,
+                    ),
+                    priority=(ranks[index], 1),
+                    label=pipelines[index].name,
+                )
+            )
+
+    def _finish_summary(task: _Task, payload) -> None:
+        nonlocal last_summary_end
+        status, text, entries, work, extras = payload
+        merge_observability(extras, qstats)
+        run.query_entries.extend(entries)
+        last_summary_end = clock()
+        if status == EXPLODED:
+            graph.explode(task.key)
+            return
+        summary = loads_summary(text)
+        if status == LOADED:
+            run.loaded += 1
+        else:
+            summary.sat_core_calls, summary.qcache_hits = work
+            run.computed += 1
+        graph.resolve(task.key, summary)
+
+    def _finish_verify(task: _Task, payload) -> None:
+        certification, misses, l2_hits, entries, extras = payload
+        merge_observability(extras, qstats)
+        run.query_entries.extend(entries)
+        run.step2[task.key] = (certification, misses, l2_hits)
+        run.verify_order.append(task.key)
+
+    _admit()
+    with PersistentPool(workers, stats) as pool:
+        while heap or pool.busy_count:
+            while heap and pool.has_idle:
+                priority, _seq, task = heapq.heappop(heap)
+                if task.task_id in dispatched_ids or priority != task.priority:
+                    continue  # stale heap entry: dispatched, or re-prioritized
+                dispatched_ids.add(task.task_id)
+                queued -= 1
+                if task.kind == SUMMARY:
+                    pending_summaries.pop(task.key, None)
+                    stats.summary_tasks += 1
+                else:
+                    stats.verify_tasks += 1
+                pool.dispatch(task)
+            depth_gauge.set(queued)
+            if not pool.busy_count:
+                if queued:  # pragma: no cover - every worker died and respawn failed
+                    raise OrchestratorError("scheduler has queued tasks but no workers")
+                break
+            event = pool.next_event()
+            if event[0] == "crashed":
+                lost = event[1]
+                stats.tasks_retried += 1
+                for suffix in ("", "-wal", "-shm"):
+                    # Best-effort: the dead attempt's shard is debris now.
+                    try:
+                        (store.root / "shards" / f"{lost.shard_tag}.sqlite{suffix}").unlink()
+                    except OSError:
+                        pass
+                lost.attempt += 1
+                dispatched_ids.discard(lost.task_id)
+                if lost.kind == SUMMARY:
+                    pending_summaries[lost.key] = lost
+                _push(lost)
+                continue
+            _event, pid, task, shard_tag, ok, task_started, ended, payload = event
+            # Fold this attempt's flushed shard before acting on the result,
+            # so anything the graph unblocks can read it from the main store.
+            stats.incremental_merges += 1
+            store.merge_shards(only=[shard_tag])
+            if task is None:
+                continue  # stale attempt of a retried task: shard folded, done
+            if not ok:
+                raise OrchestratorError(
+                    f"scheduler {task.kind} task {task.label!r} failed: {payload}"
+                )
+            stats.worker_busy_seconds += ended - task_started
+            if trace.enabled:
+                trace.record_span(
+                    "scheduler.task",
+                    "scheduler",
+                    task_started,
+                    ended,
+                    kind=task.kind,
+                    label=task.label,
+                    pid=pid,
+                    attempt=task.attempt,
+                )
+            if task.kind == SUMMARY:
+                _finish_summary(task, payload)
+            else:
+                _finish_verify(task, payload)
+            _admit()
+    if not graph.settled or len(run.step2) != len(pipelines):  # pragma: no cover
+        raise OrchestratorError("scheduler finished with unresolved work")
+    run.summaries = graph.summaries
+    idle_gauge.set(stats.worker_idle_seconds * 1000.0)
+    depth_gauge.set(0)
+    if trace.enabled and (run.computed or run.loaded):
+        # The wave path records one fleet.summarize span over Step 1; keep
+        # the phase comparable by spanning admission to the last Step-1
+        # resolution (Step 2 overlaps it — that is the point).
+        trace.record_span(
+            "fleet.summarize",
+            "fleet",
+            started,
+            last_summary_end,
+            jobs=len(run.summaries),
+            computed=run.computed,
+            loaded=run.loaded,
+        )
+    return run

@@ -106,6 +106,10 @@ class StoreStatistics(StatisticsMixin):
     quarantined: int = 0
     bytes_written: int = 0
     busy_retries: int = 0
+    #: Per-entry round trips a bulk :meth:`Store.read_entries` call avoided
+    #: relative to N single reads (``len(digests) - 1`` per call) — the
+    #: work batched discovery/delta lookups save over the naive loop.
+    round_trips_saved: int = 0
     io_seconds: float = 0.0
 
 
@@ -182,6 +186,7 @@ class Store:
         found = self.backend.read_many(digests)
         self.statistics.io_seconds += clock() - started
         self.statistics.misses += sum(1 for digest in digests if digest not in found)
+        self.statistics.round_trips_saved += max(0, len(digests) - 1)
         return found
 
     def write_entry(self, digest: str, text: str) -> None:
@@ -217,14 +222,19 @@ class Store:
         """Flush and release the backend (file handles, connections)."""
         self.backend.close()
 
-    def merge_shards(self) -> int:
-        """Fold every worker shard into the main store; returns entries merged.
+    def merge_shards(self, only=None) -> int:
+        """Fold worker shards into the main store; returns entries merged.
 
-        Must run after the worker pool has joined (no live shard
-        writers); the JSON backend has no shards and returns 0.
+        Without ``only``, folds every shard — which must run after the
+        worker pool has joined (no live shard writers).  With ``only`` (a
+        sequence of shard tags), folds exactly those shards: the
+        scheduler's incremental merge path, safe while *other* shards
+        still have live writers because each task flushes and closes its
+        private shard before its result is reported.  The JSON backend
+        has no shards and returns 0 either way.
         """
         started = clock()
-        merged = self.backend.merge_shards()
+        merged = self.backend.merge_shards(only=only)
         self.statistics.io_seconds += clock() - started
         return merged
 
@@ -319,6 +329,26 @@ class SummaryStore(Store):
             return None
         self.statistics.hits += 1
         return summary
+
+    def load_digests(self, digests) -> dict:
+        """Bulk :meth:`load_digest`: ``{digest: summary}`` for every loadable entry.
+
+        One chunked backend query instead of a round trip per job — at
+        catalog scale the per-call overhead dominates warm discovery.
+        Hits, misses and quarantines are counted per entry exactly as the
+        one-at-a-time path counts them, so differential comparisons
+        between the loops stay exact.
+        """
+        summaries = {}
+        for digest, text in self.read_entries(digests).items():
+            try:
+                summaries[digest] = loads_summary(text)
+            except Exception:
+                self.quarantine_entry(digest)
+                self.statistics.misses += 1
+                continue
+            self.statistics.hits += 1
+        return summaries
 
     def save_digest(self, digest: str, summary: ElementSummary) -> None:
         self.write_entry(digest, dumps_summary(summary))

@@ -50,24 +50,71 @@ def _pool_context():
         return multiprocessing.get_context("spawn")
 
 
+class WorkerPool:
+    """A ``multiprocessing.Pool`` that outlives one :func:`run_tasks` call.
+
+    The wave-synchronous fleet path used to fork a fresh pool per
+    discovery wave and tear it down at the join — pool churn that at
+    catalog scale costs more than the work between waves.  This wrapper
+    forks lazily on first use, is handed to every subsequent
+    :func:`run_tasks` / :func:`summarize_jobs` call, and is torn down
+    once by the owner.  ``forks`` counts actual pool creations so tests
+    and benches can assert "one pool per run, not one per wave".
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, workers)
+        self.forks = 0
+        self._pool = None
+
+    def _ensure(self):
+        if self._pool is None:
+            self._pool = _pool_context().Pool(processes=self.workers)
+            self.forks += 1
+        return self._pool
+
+    def map(self, worker: Callable[[T], R], payloads: Sequence[T]) -> List[R]:
+        """Ordered map over the persistent pool (imap, chunksize 1)."""
+        if self.workers <= 1 or len(payloads) <= 1:
+            return [worker(payload) for payload in payloads]
+        pool = self._ensure()
+        return list(pool.imap(worker, payloads, chunksize=1))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def run_tasks(
     worker: Callable[[T], R],
     payloads: Sequence[T],
     workers: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> List[R]:
     """Run ``worker`` over ``payloads``, in input order, on up to ``workers`` processes.
 
     ``worker`` must be a module-level callable and payloads/results must be
     picklable.  With ``workers <= 1`` (or a single payload) everything runs
     in-process — the degenerate case costs nothing and keeps behaviour
-    identical for debugging.
+    identical for debugging.  Passing a :class:`WorkerPool` reuses its
+    processes instead of forking (and joining) a fresh pool per call.
     """
+    if pool is not None:
+        return pool.map(worker, payloads)
     if workers <= 1 or len(payloads) <= 1:
         return [worker(payload) for payload in payloads]
     context = _pool_context()
-    with context.Pool(processes=min(workers, len(payloads))) as pool:
+    with context.Pool(processes=min(workers, len(payloads))) as pool_:
         # imap (not imap_unordered): completion order may vary, result order may not.
-        return list(pool.imap(worker, payloads, chunksize=1))
+        return list(pool_.imap(worker, payloads, chunksize=1))
 
 
 #: Result statuses shipped back by the summarization worker.
@@ -96,9 +143,26 @@ def worker_query_cache(options: SymbexOptions) -> Optional[QueryCache]:
     )
 
 
+#: Process-local shard-name override (see :func:`set_worker_shard_tag`).
+_shard_override: Optional[str] = None
+
+
+def set_worker_shard_tag(tag: Optional[str]) -> None:
+    """Override this process's shard name (``None`` restores the pid default).
+
+    The persistent scheduler (:mod:`repro.orchestrator.scheduler`) names
+    shards per *task attempt*, not per process: the parent can then merge
+    exactly the shard a finished task flushed — incrementally, while the
+    same worker is already running its next task — and a crashed attempt's
+    half-written shard is never the one a retry writes into.
+    """
+    global _shard_override
+    _shard_override = tag
+
+
 def worker_shard_tag() -> str:
     """The per-worker store shard name: stable within a process, unique across a pool."""
-    return f"w{os.getpid()}"
+    return _shard_override or f"w{os.getpid()}"
 
 
 def worker_summary_store(store_root: Optional[str]) -> Optional[SummaryStore]:
@@ -249,6 +313,7 @@ def summarize_jobs(
     workers: int = 1,
     store: Optional[Union[SummaryStore, str]] = None,
     qstats: Optional[QueryCacheStatistics] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> List[Tuple[str, Optional[ElementSummary], str]]:
     """Summarize every (element, input length) job, sharded across processes.
 
@@ -260,17 +325,20 @@ def summarize_jobs(
 
     Worker observability (spans, slow-solve records) merges into this
     process's tracer and slow log; per-tier query-cache counters fold
-    into ``qstats`` when an accumulator is passed.
+    into ``qstats`` when an accumulator is passed.  A :class:`WorkerPool`
+    reuses processes across calls (one fork per run, not per wave).
     """
     store_root = None
     if store is not None:
         store_root = str(store.root) if isinstance(store, SummaryStore) else str(store)
     payloads = [(element, length, options, store_root) for element, length in jobs]
-    results = run_tasks(_summarize_worker, payloads, workers=workers)
+    results = run_tasks(_summarize_worker, payloads, workers=workers, pool=pool)
     if store_root is not None:
-        # The pool has joined (run_tasks tears it down per call), so no
-        # shard has a live writer: fold every worker shard into the main
-        # store in one bulk copy each.  A no-op on the JSON backend.
+        # Every result is in (run_tasks returned), and each worker flushed
+        # its shard per job (store.close() in _summarize_worker's finally),
+        # so no shard of *this batch* has a live writer even when the pool
+        # persists: fold every worker shard into the main store in one
+        # bulk copy each.  A no-op on the JSON backend.
         main_store = store if isinstance(store, SummaryStore) else SummaryStore(store_root)
         main_store.merge_shards()
     merge_query_entries(

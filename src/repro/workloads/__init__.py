@@ -19,6 +19,7 @@ from .pipelines import (
     ip_router_pipeline,
     nat_gateway_pipeline,
     store_scale_catalog,
+    straggler_catalog,
     synthetic_branchy_element,
     synthetic_pipeline,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "random_ip_packets",
     "random_routing_table",
     "store_scale_catalog",
+    "straggler_catalog",
     "synthetic_branchy_element",
     "synthetic_pipeline",
     "well_formed_ip_packet",

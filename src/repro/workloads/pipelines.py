@@ -263,3 +263,32 @@ def store_scale_catalog(count: int = 1000, name_prefix: str = "scale") -> List[P
         )
         code += 1
     return pipelines
+
+
+def straggler_catalog(
+    count: int = 8, straggler_branches: int = 9, name_prefix: str = "straggle"
+) -> List[Pipeline]:
+    """A catalog with one deliberately slow pipeline in front of quick ones.
+
+    The scheduler workload: pipeline 0 chains a ``straggler_branches``-way
+    :class:`SyntheticBranchyElement` (``2^branches`` paths, so its Step-1
+    summary dominates the run) ahead of a pool element, and the remaining
+    ``count - 1`` pipelines are the quick :func:`store_scale_catalog`
+    chains.  Under the legacy wave-synchronous pool every quick pipeline's
+    Step-2 verification waits for the straggler's wave to join; the
+    dependency-aware scheduler verifies them while the straggler is still
+    summarizing.  Deterministic, like every workload catalog.
+    """
+    if count < 2:
+        raise ValueError(f"straggler catalog needs at least 2 pipelines, got {count}")
+    straggler = Pipeline.chain(
+        [
+            SyntheticBranchyElement(
+                branches=straggler_branches, offset=0, name="straggler"
+            ),
+            SyntheticBranchyElement(branches=1, offset=0, name="pool_b1"),
+        ],
+        name=f"{name_prefix}-heavy",
+    )
+    quick = store_scale_catalog(count - 1, name_prefix=name_prefix)
+    return [straggler] + quick

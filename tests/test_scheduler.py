@@ -1,0 +1,409 @@
+"""Tests for the persistent fleet scheduler: graph, pool, priorities, parity.
+
+The scheduler's contract is differential — it reorders work, it never
+changes it — so most tests here drive the same catalog through the
+serial, wave-synchronous and scheduled paths and assert the outputs are
+identical.  The container may expose a single CPU (``certify_fleet``
+clamps ``workers`` to the CPU count), so end-to-end tests monkeypatch
+``repro.orchestrator.fleet.os.cpu_count`` and graph/pool tests call
+:func:`run_scheduled` directly with an explicit worker count.
+"""
+
+import dataclasses
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.obs.trace import Tracer, active
+from repro.orchestrator import (
+    JobGraph,
+    OrchestratorError,
+    RiskHistory,
+    RiskStore,
+    SummaryStore,
+    WorkerPool,
+    certify_fleet,
+    pipeline_ranks,
+    run_scheduled,
+    summarize_jobs,
+)
+from repro.orchestrator.scheduler import FIFO, LARGEST_FIRST, OFF, RISK
+from repro.orchestrator.workers import _summarize_worker, job_digest
+from repro.symbex.engine import SymbexOptions
+from repro.verify import CrashFreedom
+from repro.workloads import (
+    fleet_catalog,
+    store_scale_catalog,
+    synthetic_pipeline,
+)
+
+
+@pytest.fixture
+def four_cpus(monkeypatch):
+    """Lift the fleet layer's worker clamp on single-CPU CI hosts."""
+    import repro.orchestrator.fleet as fleet_mod
+
+    monkeypatch.setattr(fleet_mod.os, "cpu_count", lambda: 4)
+
+
+def _serial_summaries(pipelines, lengths, options):
+    """Ground truth: the digest -> summary map a serial discovery computes."""
+    from repro.orchestrator import loads_summary
+
+    graph = JobGraph(pipelines, lengths, options)
+    while True:
+        jobs = graph.take_new_jobs()
+        if not jobs:
+            break
+        for digest, element, length in jobs:
+            status, text, _e, _w, _x = _summarize_worker((element, length, options, None))
+            assert status == "computed"
+            graph.resolve(digest, loads_summary(text))
+    return graph
+
+
+class TestPipelineRanks:
+    def test_fifo_is_catalog_order(self):
+        catalog = store_scale_catalog(4)
+        assert pipeline_ranks(catalog, FIFO) == [0, 1, 2, 3]
+
+    def test_largest_first_fronts_wide_pipelines(self):
+        catalog = [
+            synthetic_pipeline(2, 1, name="small"),
+            synthetic_pipeline(4, 1, name="large"),
+            synthetic_pipeline(3, 1, name="mid"),
+        ]
+        ranks = pipeline_ranks(catalog, LARGEST_FIRST)
+        assert ranks == [2, 0, 1]  # large first, then mid, then small
+
+    def test_risk_without_history_is_fifo(self):
+        catalog = store_scale_catalog(3)
+        assert pipeline_ranks(catalog, RISK) == [0, 1, 2]
+
+    def test_risk_fronts_seeded_history(self, tmp_path):
+        catalog = store_scale_catalog(3)
+        history = RiskHistory(RiskStore(tmp_path))
+        history.seed(catalog[2].name, violations=2)
+        ranks = pipeline_ranks(catalog, RISK, history)
+        assert ranks[2] == 0  # the violating pipeline preempts the catalog
+
+    def test_unknown_schedule_raises(self):
+        with pytest.raises(OrchestratorError):
+            pipeline_ranks(store_scale_catalog(1), "steepest-descent")
+
+
+class TestJobGraph:
+    """The graph must be completion-order invariant — that is the whole bet."""
+
+    def _catalog(self):
+        return store_scale_catalog(6)
+
+    def test_random_completion_orders_reach_identical_state(self):
+        options = SymbexOptions()
+        catalog = self._catalog()
+        reference = _serial_summaries(catalog, (64,), options)
+        oracle = dict(reference.summaries)
+
+        for seed in range(5):
+            rng = random.Random(seed)
+            graph = JobGraph(catalog, (64,), options)
+            pending = list(graph.take_new_jobs())
+            verify_ready = list(graph.take_verify_ready())
+            while pending:
+                index = rng.randrange(len(pending))
+                digest, _element, _length = pending.pop(index)
+                graph.resolve(digest, oracle[digest])
+                pending.extend(graph.take_new_jobs())
+                verify_ready.extend(graph.take_verify_ready())
+            assert graph.settled
+            assert set(graph.summaries) == set(oracle)
+            assert sorted(verify_ready) == list(range(len(catalog)))
+
+    def test_exploded_digest_unblocks_waiting_pipelines(self):
+        options = SymbexOptions()
+        catalog = [synthetic_pipeline(3, 2, name="boom")]
+        graph = JobGraph(catalog, (12,), options)
+        jobs = graph.take_new_jobs()
+        assert jobs and not graph.take_verify_ready()
+        # The entry element explodes: no downstream expansion, but the
+        # pipeline must still become verify-ready (Step 2 reports unknown).
+        graph.explode(jobs[0][0])
+        assert graph.take_verify_ready() == [0]
+        assert graph.settled
+
+    def test_duplicate_configurations_share_one_job(self):
+        options = SymbexOptions()
+        catalog = store_scale_catalog(6)
+        graph = JobGraph(catalog, (64,), options)
+        jobs = graph.take_new_jobs()
+        digests = [digest for digest, _e, _l in jobs]
+        assert len(digests) == len(set(digests))
+        entries = [p.entry_elements()[0] for p in catalog]
+        assert len(jobs) == len({job_digest(e, 64, options) for e in entries})
+
+    def test_rejects_multi_entry_pipeline(self):
+        from repro.dataplane import Pipeline
+        from repro.dataplane.elements import Discard
+        from repro.workloads.pipelines import SyntheticBranchyElement
+
+        pipeline = Pipeline(name="two-entries")
+        sink = Discard(name="sink")
+        pipeline.connect(SyntheticBranchyElement(1, name="a"), sink)
+        pipeline.connect(SyntheticBranchyElement(1, offset=2, name="b"), sink)
+        with pytest.raises(OrchestratorError):
+            JobGraph([pipeline], (24,), SymbexOptions())
+
+
+class TestScheduledRun:
+    def test_matches_serial_verdicts_and_counters(self, four_cpus, tmp_path):
+        catalog = store_scale_catalog(8)
+        options = SymbexOptions()
+        serial = certify_fleet(
+            catalog, [CrashFreedom()], input_lengths=(64,), options=options
+        )
+        scheduled = certify_fleet(
+            store_scale_catalog(8), [CrashFreedom()], input_lengths=(64,),
+            workers=2, store=SummaryStore(tmp_path / "sched"), options=options,
+        )
+        wave = certify_fleet(
+            store_scale_catalog(8), [CrashFreedom()], input_lengths=(64,),
+            workers=2, store=SummaryStore(tmp_path / "wave"), options=options,
+            schedule=OFF,
+        )
+        assert scheduled.verdicts() == serial.verdicts() == wave.verdicts()
+        assert scheduled.scheduler is not None and scheduled.scheduler.pools_forked == 1
+        assert wave.scheduler is None
+        for name in (
+            "distinct_summary_jobs", "summaries_computed", "store_hits",
+            "solver_checks", "sat_core_calls", "qcache_hits", "counterexamples",
+        ):
+            assert getattr(scheduled.statistics, name) == getattr(serial.statistics, name)
+            assert getattr(scheduled.statistics, name) == getattr(wave.statistics, name)
+        # Step-2 store rehydration is a parallel-only counter; the
+        # scheduler must match the wave path it replaces.
+        assert scheduled.statistics.step2_store_loads == wave.statistics.step2_store_loads
+
+    def test_counterexample_packets_match_serial(self, four_cpus, tmp_path):
+        serial = certify_fleet(fleet_catalog(2), [CrashFreedom()], input_lengths=(24,))
+        scheduled = certify_fleet(
+            fleet_catalog(2), [CrashFreedom()], input_lengths=(24,),
+            workers=2, store=SummaryStore(tmp_path),
+        )
+        packets = lambda report: [  # noqa: E731
+            [ce.packet for result in c.results for ce in result.counterexamples]
+            for c in report.certifications
+        ]
+        assert packets(scheduled) == packets(serial)
+
+    def test_budget_explosion_degrades_identically(self, four_cpus, tmp_path):
+        options = SymbexOptions(max_paths=4)  # starves Step-1
+        serial = certify_fleet(
+            [synthetic_pipeline(4, 3, name="boom")], [CrashFreedom()],
+            input_lengths=(12,), options=options,
+        )
+        scheduled = certify_fleet(
+            [synthetic_pipeline(4, 3, name="boom")], [CrashFreedom()],
+            input_lengths=(12,), workers=2, store=SummaryStore(tmp_path),
+            options=options,
+        )
+        assert scheduled.verdicts() == serial.verdicts()
+        assert scheduled.verdicts()[0][2] == "unknown"
+
+    def test_warm_store_serves_whole_run(self, four_cpus, tmp_path):
+        store = SummaryStore(tmp_path)
+        cold = certify_fleet(
+            store_scale_catalog(4), [CrashFreedom()], input_lengths=(64,),
+            workers=2, store=store,
+        )
+        warm = certify_fleet(
+            store_scale_catalog(4), [CrashFreedom()], input_lengths=(64,),
+            workers=2, store=store,
+        )
+        assert warm.verdicts() == cold.verdicts()
+        assert warm.statistics.summaries_computed == 0
+        assert warm.statistics.store_hits == cold.statistics.distinct_summary_jobs
+        # Satellite: the bulk frontier probe costs one round trip per
+        # admission batch, not one per digest.
+        assert store.statistics.round_trips_saved > 0
+
+    def test_schedule_off_forks_one_pool_across_waves(self, four_cpus, tmp_path, monkeypatch):
+        import repro.orchestrator.fleet as fleet_mod
+
+        forks = []
+        original = fleet_mod.WorkerPool
+
+        class CountingPool(original):
+            def __init__(self, workers):
+                super().__init__(workers)
+                forks.append(self)
+
+        monkeypatch.setattr(fleet_mod, "WorkerPool", CountingPool)
+        report = certify_fleet(
+            store_scale_catalog(4), [CrashFreedom()], input_lengths=(64,),
+            workers=2, store=SummaryStore(tmp_path), schedule=OFF,
+        )
+        assert len(report.certifications) == 4
+        assert len(forks) == 1  # one shared pool for every wave and Step 2
+        assert forks[0].forks == 1
+
+    def test_unknown_schedule_rejected_up_front(self, tmp_path):
+        with pytest.raises(OrchestratorError):
+            certify_fleet(
+                store_scale_catalog(1), [CrashFreedom()], input_lengths=(64,),
+                schedule="sorted-by-vibes",
+            )
+
+
+class TestSchedulerDirect:
+    """Drive run_scheduled with real worker processes (no cpu clamp)."""
+
+    def _run(self, catalog, store, **kwargs):
+        kwargs.setdefault("workers", 2)
+        return run_scheduled(
+            catalog, [CrashFreedom()], (64,), SymbexOptions(), store=store, **kwargs
+        )
+
+    def test_risk_schedule_verifies_risky_pipeline_first(self, tmp_path):
+        catalog = store_scale_catalog(6)
+        history = RiskHistory(RiskStore(tmp_path / "risk"))
+        risky = catalog[4].name
+        history.seed(risky, violations=3, churn=2)
+        # One worker: dispatch strictly follows the priority heap, so the
+        # completion order is deterministic.
+        run = self._run(
+            catalog, SummaryStore(tmp_path / "store"), workers=1,
+            schedule=RISK, risk_history=history,
+        )
+        assert run.verify_order[0] == 4
+        assert len(run.verify_order) == len(catalog)
+
+    def test_fifo_single_worker_preserves_catalog_order(self, tmp_path):
+        catalog = store_scale_catalog(5)
+        run = self._run(catalog, SummaryStore(tmp_path), workers=1)
+        assert run.verify_order == list(range(len(catalog)))
+
+    def test_schedule_off_refused(self, tmp_path):
+        with pytest.raises(OrchestratorError):
+            self._run(store_scale_catalog(1), SummaryStore(tmp_path), schedule=OFF)
+
+    def test_crashed_worker_is_respawned_and_task_retried(self, tmp_path):
+        catalog = store_scale_catalog(4)
+        store = SummaryStore(tmp_path / "store")
+        (tmp_path / "crash-once").touch()
+        run = self._run(catalog, store, summary_worker=_crash_once_worker)
+        stats = run.statistics
+        assert stats.workers_crashed == 1
+        assert stats.tasks_retried == 1
+        assert stats.workers_spawned == stats.workers + 1  # one replacement
+        assert stats.pools_forked == 1
+        # The retried run still certifies everything, identically.
+        serial = certify_fleet(store_scale_catalog(4), [CrashFreedom()], input_lengths=(64,))
+        verdicts = [
+            (catalog[index].name, r.property_name, r.verdict)
+            for index in sorted(run.step2)
+            for r in run.step2[index][0].results
+        ]
+        assert verdicts == serial.verdicts()
+
+    def test_spans_ship_exactly_once_and_match_serial_work(self, tmp_path):
+        options = dataclasses.replace(SymbexOptions(), trace=True)
+        catalog = store_scale_catalog(4)
+
+        with active(Tracer()) as t:
+            run = run_scheduled(
+                catalog, [CrashFreedom()], (64,), options,
+                workers=2, store=SummaryStore(tmp_path),
+            )
+            spans = t.spans()
+        assert len(run.step2) == len(catalog)
+        assert len({(s.pid, s.sid) for s in spans}) == len(spans)  # exactly once
+        scheduler_spans = [s for s in spans if s.category == "scheduler"]
+        assert len(scheduler_spans) == run.statistics.tasks_dispatched
+        assert all(s.name == "scheduler.task" for s in scheduler_spans)
+
+        # The scheduler reorders the serial run's symbolic executions; it
+        # never adds or drops one.  (Cache hit/miss *events* legitimately
+        # differ from serial — parallel Step 2 rehydrates from the store,
+        # serial reads its in-process cache — that is the wave path's
+        # pre-existing behavior, compared exhaustively below.)
+        with active(Tracer()) as t:
+            serial = certify_fleet(
+                store_scale_catalog(4), [CrashFreedom()], input_lengths=(64,),
+                options=options,
+            )
+            serial_spans = t.spans()
+        assert serial.statistics.pipelines == len(catalog)
+        symbex = sorted(
+            (s.name, s.args.get("element")) for s in spans if s.category == "symbex"
+        )
+        serial_symbex = sorted(
+            (s.name, s.args.get("element")) for s in serial_spans if s.category == "symbex"
+        )
+        assert symbex == serial_symbex
+
+    def test_trace_matches_wave_path_exactly(self, tmp_path, monkeypatch):
+        import repro.orchestrator.fleet as fleet_mod
+
+        monkeypatch.setattr(fleet_mod.os, "cpu_count", lambda: 4)
+        options = dataclasses.replace(SymbexOptions(), trace=True)
+
+        def names(schedule, root):
+            with active(Tracer()) as t:
+                certify_fleet(
+                    store_scale_catalog(4), [CrashFreedom()], input_lengths=(64,),
+                    workers=2, store=SummaryStore(root), options=options,
+                    schedule=schedule,
+                )
+                return sorted(
+                    s.name for s in t.spans() if s.category != "scheduler"
+                )
+
+        scheduled = names(FIFO, tmp_path / "sched")
+        wave = names(OFF, tmp_path / "wave")
+        assert scheduled == wave
+
+    def test_queue_and_idle_gauges_published(self, tmp_path):
+        from repro.obs.metrics import metrics
+
+        run = self._run(store_scale_catalog(3), SummaryStore(tmp_path))
+        registry = metrics()
+        assert registry.gauge("scheduler.queue_depth").value == 0
+        assert registry.gauge("scheduler.worker_idle_ms").value == pytest.approx(
+            run.statistics.worker_idle_seconds * 1000.0
+        )
+
+
+def _crash_once_worker(payload):
+    """Summary worker that hard-kills its process on the first marked task.
+
+    The sentinel lives next to the store root; exactly one task consumes
+    it, dies without reporting, and every retry (fresh attempt tag)
+    computes normally.  ``os._exit`` skips worker cleanup on purpose —
+    that is what a segfault looks like to the parent.
+    """
+    element, length, options, store_root = payload
+    sentinel = Path(store_root).parent / "crash-once"
+    if sentinel.exists():
+        try:
+            sentinel.unlink()
+        except OSError:  # pragma: no cover - second racer lost; run normally
+            pass
+        else:
+            os._exit(1)
+    return _summarize_worker(payload)
+
+
+class TestWorkerPoolReuse:
+    def test_one_fork_across_many_batches(self):
+        jobs = [(p.entry_elements()[0], 64) for p in store_scale_catalog(3)]
+        with WorkerPool(2) as pool:
+            for _ in range(3):
+                results = summarize_jobs(jobs, SymbexOptions(), workers=2, pool=pool)
+                assert all(status == "computed" for status, _s, _d in results)
+            assert pool.forks == 1
+
+    def test_lazy_fork_only_on_parallel_work(self):
+        with WorkerPool(2) as pool:
+            assert pool.forks == 0
