@@ -28,7 +28,9 @@ def run_comparison():
         pipeline = synthetic_pipeline(elements=length, branches_per_element=BRANCHES_PER_ELEMENT)
 
         started = time.perf_counter()
-        verifier = PipelineVerifier(pipeline, options=SymbexOptions(max_paths=50_000))
+        # merge=off throughout: this bench pins the paper's *unmerged* path
+        # counts (state merging collapses the synthetic branches entirely).
+        verifier = PipelineVerifier(pipeline, options=SymbexOptions(max_paths=50_000, merge="off"))
         decomposed = verifier.verify(CrashFreedom(), input_lengths=[INPUT_LENGTH])
         decomposed_seconds = time.perf_counter() - started
         decomposed_segments = decomposed.statistics.segments_total
@@ -36,7 +38,7 @@ def run_comparison():
         started = time.perf_counter()
         baseline = MonolithicVerifier(
             pipeline,
-            options=SymbexOptions(max_paths=MONOLITHIC_PATH_BUDGET, max_seconds=120),
+            options=SymbexOptions(max_paths=MONOLITHIC_PATH_BUDGET, max_seconds=120, merge="off"),
         )
         monolithic = baseline.verify(CrashFreedom(), input_length=INPUT_LENGTH)
         monolithic_seconds = time.perf_counter() - started

@@ -25,7 +25,8 @@ class ToyProgram(Element):
 
 def summarize_toy_program():
     element = ToyProgram(name="fig1")
-    engine = SymbolicEngine(SymbexOptions())
+    # merge=off: this bench pins the paper's unmerged Figure-1 path count.
+    engine = SymbolicEngine(SymbexOptions(merge="off"))
     return engine.summarize_element(element.program, 1, element_name=element.name)
 
 

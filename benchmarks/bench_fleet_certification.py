@@ -124,6 +124,10 @@ def test_fleet_certification(benchmark, bench_json):
             "certified": len(cold.certified),
             "rejected": len(cold.rejected),
             "counterexamples": cold.statistics.counterexamples,
+            "paths_explored": cold.statistics.paths_explored,
+            "paths_merged": cold.statistics.paths_merged,
+            "ites_introduced": cold.statistics.ites_introduced,
+            "merge_rejected": cold.statistics.merge_rejected,
             "trace": {
                 "spans": trace_summary["spans"],
                 "events": trace_summary["events"],

@@ -40,7 +40,9 @@ def _summarize_suite(incremental: bool):
     fingerprint = []
     for branches in SYNTHETIC_BRANCHES:
         element = SyntheticBranchyElement(branches=branches, offset=0, name=f"branchy{branches}")
-        engine = SymbolicEngine(SymbexOptions(incremental=incremental, max_paths=100_000))
+        engine = SymbolicEngine(
+            SymbexOptions(incremental=incremental, max_paths=100_000, merge="off")
+        )
         summary = engine.summarize_element(
             element.program,
             SYNTHETIC_INPUT_LENGTH,
@@ -62,7 +64,7 @@ def _verify_suite(incremental: bool):
         result = verify_crash_freedom(
             pipeline,
             input_lengths=list(ROUTER_INPUT_LENGTHS),
-            options=SymbexOptions(incremental=incremental),
+            options=SymbexOptions(incremental=incremental, merge="off"),
         )
         verdicts.append((length, result.verdict))
     return time.perf_counter() - started, verdicts

@@ -19,12 +19,14 @@ def measure_path_counts():
     for elements, branches in CONFIGURATIONS:
         pipeline = synthetic_pipeline(elements=elements, branches_per_element=branches)
 
-        verifier = PipelineVerifier(pipeline, options=SymbexOptions(max_paths=100_000))
+        # merge=off throughout: this bench pins the paper's *unmerged* path
+        # counts (state merging collapses the synthetic branches entirely).
+        verifier = PipelineVerifier(pipeline, options=SymbexOptions(max_paths=100_000, merge="off"))
         summaries = verifier.element_summaries(INPUT_LENGTH)
         decomposed_segments = sum(len(summary.segments) for _e, summary in summaries.values())
 
         baseline = MonolithicVerifier(
-            pipeline, options=SymbexOptions(max_paths=100_000, max_seconds=120)
+            pipeline, options=SymbexOptions(max_paths=100_000, max_seconds=120, merge="off")
         )
         result = baseline.verify(CrashFreedom(), input_length=INPUT_LENGTH)
         monolithic_paths = getattr(result.statistics, "pipeline_paths_explored", 0)

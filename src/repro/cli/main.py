@@ -148,6 +148,14 @@ def _build_parser() -> _Parser:
         "--max-paths", type=int, default=None, metavar="N",
         help="per-element symbolic path budget (blown budgets yield verdict 'unknown')",
     )
+    certify.add_argument(
+        "--merge", choices=("off", "conservative", "aggressive"), default=None,
+        metavar="MODE",
+        help="path merging at branch joins: conservative (ite-lift sibling states "
+             "within the ite budget, default), aggressive (also merge matching "
+             "terminated states, no budget), or off (fork everything; the "
+             "differential-testing reference)",
+    )
     certify.add_argument("--max-counterexamples", type=int, default=3, metavar="N")
     certify.add_argument(
         "--no-replay", action="store_true",
@@ -262,6 +270,8 @@ def _run_certify(args: argparse.Namespace) -> int:
     )
     if args.max_paths is not None:
         options.max_paths = args.max_paths
+    if args.merge is not None:
+        options.merge = args.merge
     baseline = _load_manifest(args.baseline) if args.baseline else None
     run_tracer = Tracer() if args.trace else None
 
@@ -527,6 +537,13 @@ def _run_store(args: argparse.Namespace) -> int:
                         )
                         + f" (overall {rates['overall']:.1%})"
                     )
+                    if metrics.get("paths_explored") or metrics.get("paths_merged"):
+                        print(
+                            f"  path merging: {metrics.get('paths_explored', 0)} paths "
+                            f"explored, {metrics.get('paths_merged', 0)} merged "
+                            f"({metrics.get('ites_introduced', 0)} ites, "
+                            f"{metrics.get('merge_rejected', 0)} rejected)"
+                        )
     if args.json:
         print(json.dumps(document, indent=2))
     return EXIT_OK

@@ -164,6 +164,13 @@ class FleetStatistics(StatisticsMixin):
     sat_core_calls: int = 0
     #: Slice questions the query-optimization layer answered from cache.
     qcache_hits: int = 0
+    #: Step-1 path accounting: terminal states reached, sibling pairs
+    #: collapsed by the ite-lifting merge pass, ite terms that lifting
+    #: introduced, and candidate pairs the merge policy rejected.
+    paths_explored: int = 0
+    paths_merged: int = 0
+    ites_introduced: int = 0
+    merge_rejected: int = 0
     composed_paths_checked: int = 0
     counterexamples: int = 0
     #: Delta-mode split: pipelines verified on this run vs. served whole
@@ -215,6 +222,9 @@ class FleetReport:
             f"step 1     : {stats.element_instances} element instances -> "
             f"{stats.distinct_summary_jobs} distinct jobs, "
             f"{stats.summaries_computed} computed, {stats.store_hits} from store",
+            f"merge      : {stats.paths_explored} paths explored, "
+            f"{stats.paths_merged} merged "
+            f"({stats.ites_introduced} ites, {stats.merge_rejected} rejected)",
             f"step 2     : {stats.composed_paths_checked} composed paths, "
             f"{stats.solver_checks} solver checks, "
             f"{stats.sat_core_calls} SAT-core calls "
@@ -752,6 +762,10 @@ def _certify_fleet(
             report.statistics.solver_checks += result.statistics.solver_checks
             report.statistics.sat_core_calls += result.statistics.sat_core_calls
             report.statistics.qcache_hits += result.statistics.qcache_hits
+            report.statistics.paths_explored += result.statistics.paths_explored
+            report.statistics.paths_merged += result.statistics.paths_merged
+            report.statistics.ites_introduced += result.statistics.ites_introduced
+            report.statistics.merge_rejected += result.statistics.merge_rejected
             report.statistics.composed_paths_checked += result.statistics.composed_paths_checked
             report.statistics.counterexamples += len(result.counterexamples)
         if certification.instruction_bound is not None:
@@ -763,8 +777,16 @@ def _certify_fleet(
             )
     if query_store is not None and (fleet_qstats.checks or fleet_qstats.slices):
         # Persist the per-tier counters so hit rates accumulate across
-        # runs (`repro store stats` reads them back).
-        query_store.record_metrics(fleet_qstats.to_dict())
+        # runs (`repro store stats` reads them back).  The merge pass's
+        # counters ride along so the store surfaces path-merging work too.
+        metrics = fleet_qstats.to_dict()
+        metrics.update(
+            paths_explored=report.statistics.paths_explored,
+            paths_merged=report.statistics.paths_merged,
+            ites_introduced=report.statistics.ites_introduced,
+            merge_rejected=report.statistics.merge_rejected,
+        )
+        query_store.record_metrics(metrics)
     # Deterministic durability point: push every batched write (SQLite
     # backend) to disk before the report is returned — callers may exit,
     # fork, or re-open the roots immediately.

@@ -63,11 +63,13 @@ def summary_key(element: Element, input_length: int, options: SymbexOptions) -> 
 
     Besides the element's configuration fingerprint, the digest covers the
     engine options that shape summary *content*: the static-table mode,
-    branch pruning, and the solver conflict budget (a starved budget can
-    soundly-but-differently prune branches).  ``incremental`` and
-    ``sat_backend`` are deliberately excluded — the solving cores and SAT
-    backends are differentially tested to produce identical summaries, so
-    they may share entries.
+    branch pruning, the solver conflict budget (a starved budget can
+    soundly-but-differently prune branches), and the state-merging policy
+    (merged summaries carry ite-lifted segments and upper-bound
+    instruction counts, so modes must not share entries).  ``incremental``
+    and ``sat_backend`` are deliberately excluded — the solving cores and
+    SAT backends are differentially tested to produce identical summaries,
+    so they may share entries.
     Path/time budgets are also excluded: blowing one raises instead of
     producing a summary, so it can never poison the store.
     """
@@ -82,6 +84,7 @@ def summary_key(element: Element, input_length: int, options: SymbexOptions) -> 
             options.static_table_mode,
             f"prune={options.prune_infeasible_branches}",
             f"conflicts={options.solver_max_conflicts}",
+            f"merge={options.merge}:{options.merge_max_ites}",
         )
     )
     return hashlib.sha256(material.encode()).hexdigest()

@@ -13,11 +13,26 @@ from typing import Dict, List, Tuple
 
 from .cnf import CNFBuilder
 from .errors import InvalidTermError
-from .terms import Op, Term
+from .terms import Op, Term, intern_term
 
 
 class BitBlaster:
-    """Translates terms to CNF over a shared :class:`CNFBuilder`."""
+    """Translates terms to CNF over a shared :class:`CNFBuilder`.
+
+    The node caches are keyed by *interned* term uid and pin the term
+    they encode: uids are never reused while the term is alive, so a
+    structurally identical term built later — an ite-lifted merge DAG
+    reassembling shared subterms, a reserialized summary constraint —
+    reinterns to the pinned instance and reuses its encoding instead of
+    re-blasting.  (The former ``id(term)``-keyed cache could neither
+    survive reconstruction nor safely outlive unpinned subterms.)
+
+    ``passes`` counts root-level blasts that missed the cache — genuine
+    bit-blasting passes — and ``cache_hits`` counts every node answered
+    from the cache; together they are the measure of how much work the
+    shared-arena batching saves (see the acceptance gate in
+    ``benchmarks/bench_path_merge.py``).
+    """
 
     def __init__(self, cnf: CNFBuilder | None = None) -> None:
         self.cnf = cnf if cnf is not None else CNFBuilder()
@@ -25,9 +40,13 @@ class BitBlaster:
         # occurrences of the same symbol map to the same SAT variables.
         self._bv_vars: Dict[Tuple[str, int], List[int]] = {}
         self._bool_vars: Dict[str, int] = {}
-        # Structural cache keyed by term identity (terms are built as DAGs).
-        self._bv_cache: Dict[int, List[int]] = {}
-        self._bool_cache: Dict[int, int] = {}
+        # Structural caches keyed by interned uid; the pinned term keeps
+        # the whole encoded sub-DAG (and its uids) alive.
+        self._bv_cache: Dict[int, Tuple[Term, List[int]]] = {}
+        self._bool_cache: Dict[int, Tuple[Term, int]] = {}
+        self.passes = 0
+        self.cache_hits = 0
+        self._depth = 0
 
     # -- public API -------------------------------------------------------------------
 
@@ -40,27 +59,43 @@ class BitBlaster:
         """Return a literal equivalent to the boolean term."""
         if not term.is_bool():
             raise InvalidTermError(f"expected a boolean term, got {term!r}")
-        cached = self._bool_cache.get(id(term))
+        term = intern_term(term)
+        cached = self._bool_cache.get(term.uid)
         if cached is not None:
-            return cached
-        literal = self._blast_bool(term)
-        self._bool_cache[id(term)] = literal
+            self.cache_hits += 1
+            return cached[1]
+        if self._depth == 0:
+            self.passes += 1
+        self._depth += 1
+        try:
+            literal = self._blast_bool(term)
+        finally:
+            self._depth -= 1
+        self._bool_cache[term.uid] = (term, literal)
         return literal
 
     def blast_bv(self, term: Term) -> List[int]:
         """Return the list of literals (LSB first) encoding a bitvector term."""
         if not term.is_bitvec():
             raise InvalidTermError(f"expected a bitvector term, got {term!r}")
-        cached = self._bv_cache.get(id(term))
+        term = intern_term(term)
+        cached = self._bv_cache.get(term.uid)
         if cached is not None:
-            return cached
-        bits = self._blast_bv(term)
+            self.cache_hits += 1
+            return cached[1]
+        if self._depth == 0:
+            self.passes += 1
+        self._depth += 1
+        try:
+            bits = self._blast_bv(term)
+        finally:
+            self._depth -= 1
         if len(bits) != term.width:
             raise InvalidTermError(
                 f"internal bit-blasting error: {term.op} produced {len(bits)} bits, "
                 f"expected {term.width}"
             )
-        self._bv_cache[id(term)] = bits
+        self._bv_cache[term.uid] = (term, bits)
         return bits
 
     def variable_bits(self) -> Dict[Tuple[str, int], List[int]]:

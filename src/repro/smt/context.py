@@ -74,6 +74,15 @@ class ContextStatistics(StatisticsMixin):
     sat_conflicts: int = 0
     sat_decisions: int = 0
     learned_clauses: int = 0
+    #: Root-level bit-blasting passes of the shared blaster (distinct
+    #: roots encoded), and the node questions its uid-keyed cache
+    #: answered instead — the evidence that shared subterms blast once.
+    blast_passes: int = 0
+    blast_cache_hits: int = 0
+    #: Encode *sweeps* over slice sets: the unbatched path pays one per
+    #: core-reaching slice, the batched arena one per whole slice set —
+    #: so with batching this stays below ``slices_solved``.
+    encode_passes: int = 0
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
 
@@ -206,7 +215,9 @@ class SolverContext:
 
         solve_started = clock()
         hits_before = self.query_cache.statistics.hits
-        status, model = self.query_cache.check(terms, self._solve_slice)
+        status, model = self.query_cache.check(
+            terms, self._solve_slice, make_batch=self._make_batch
+        )
         self.statistics.qcache_hits += self.query_cache.statistics.hits - hits_before
         self.statistics.solve_seconds += clock() - solve_started
         if status == CheckResult.SAT:
@@ -230,7 +241,54 @@ class SolverContext:
             self.statistics.quick_check_hits += 1
             return CheckResult.SAT, Model(quick.model)
 
+        # Unbatched: one encode sweep per core-reaching slice.
+        self.statistics.encode_passes += 1
         return self._solve_assumptions([self._literal(term) for term in terms])
+
+    def _make_batch(self, groups: Sequence[Sequence[Term]]) -> List:
+        """Batched slice solving on the persistent core: one encode, N solves.
+
+        The per-slice path encodes and feeds each missed slice on its
+        own; the batch hook instead Tseitin-encodes *every* slice's root
+        into the shared CNF the first time any slice actually needs the
+        core, then streams the new clauses to the solver in one
+        ``_feed_clauses`` call.  Ite-lifted merge constraints share most
+        of their sub-DAG across slices, so the uid-keyed blast cache
+        turns the remaining slices' encodings into lookups — one
+        bit-blasting pass over the shared subterms instead of one per
+        slice.  Each slice is still decided by its own assumption solve,
+        so verdicts, counters and the one-UNSAT short-circuit match the
+        unbatched path.
+        """
+        state: Dict[str, object] = {}
+
+        def ensure_encoded() -> None:
+            if state:
+                return
+            # One encode sweep covers every slice of the arena.
+            self.statistics.encode_passes += 1
+            state["literals"] = [
+                [self._literal(term) for term in terms] for terms in groups
+            ]
+            self._feed_clauses()
+
+        def solve_group(index: int):
+            def run(terms: Sequence[Term]) -> Tuple[str, Optional[Model]]:
+                self.statistics.slices_solved += 1
+                goal = terms[0] if len(terms) == 1 else mk_and(*terms)
+                quick = quick_check(goal)
+                if quick.status == QuickCheckResult.UNSAT:
+                    self.statistics.quick_check_hits += 1
+                    return CheckResult.UNSAT, None
+                if quick.status == QuickCheckResult.SAT:
+                    self.statistics.quick_check_hits += 1
+                    return CheckResult.SAT, Model(quick.model)
+                ensure_encoded()
+                return self._solve_assumptions(state["literals"][index])  # type: ignore[index]
+
+            return run
+
+        return [solve_group(index) for index in range(len(groups))]
 
     def _solve_assumptions(self, literals: List[int]) -> Tuple[str, Optional[Model]]:
         """Run one CDCL search under ``literals``, with the work bookkeeping.
@@ -281,6 +339,10 @@ class SolverContext:
             self.statistics.unsat += 1
         else:
             self.statistics.unknown += 1
+        # Blast counters are gauges of the context's one shared blaster;
+        # syncing on every check keeps them current without per-node cost.
+        self.statistics.blast_passes = self._blaster.passes
+        self.statistics.blast_cache_hits = self._blaster.cache_hits
         return status
 
     def _literal(self, term: Term) -> int:

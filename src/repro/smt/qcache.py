@@ -55,7 +55,7 @@ from ..obs.stats import StatisticsMixin
 from ..obs.trace import tracer
 from .interval import QuickCheckResult, quick_check
 from .model import Model
-from .slicing import Slice, partition
+from .slicing import Slice, arena_order, partition
 from .terms import Term, mk_and
 
 #: Bump when the persisted payload layout changes; a mismatch reads as a miss.
@@ -245,11 +245,16 @@ class QueryCache:
         slices = partition(unique)
         self.statistics.slices += len(slices)
         solvers: Optional[Sequence[SolveFn]] = None
+        order = range(len(slices))
         if make_batch is not None and len(slices) > 1:
             solvers = make_batch([query_slice.terms for query_slice in slices])
+            # Cheapest slices first: a quick-check or cached UNSAT on a
+            # small slice short-circuits before the shared arena is built.
+            order = arena_order(slices)
         assignment: Dict[str, object] = {}
         unknown = False
-        for index, query_slice in enumerate(slices):
+        for index in order:
+            query_slice = slices[index]
             status, model = self._check_slice(
                 query_slice, solvers[index] if solvers is not None else solve
             )

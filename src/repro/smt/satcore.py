@@ -136,6 +136,11 @@ class ArraySolver:
         self.propagations = 0
         self.restarts = 0
         self.db_reductions = 0
+        # Incremental-reuse accounting: decision levels kept across
+        # consecutive assumption solves (the trail cache at work), and
+        # solves answered outright by the previous complete assignment.
+        self.trail_reused_levels = 0
+        self.model_reuses = 0
         self._ensure_vars(num_vars)
 
     # -- public API -------------------------------------------------------------------
@@ -305,6 +310,7 @@ class ArraySolver:
                 if val[code] != 1:
                     break
             else:
+                self.model_reuses += 1
                 return SatResult.SAT
 
         # Trail caching: incremental callers issue runs of solves over a
@@ -319,6 +325,7 @@ class ArraySolver:
         limit = min(len(kept), num_assumptions, len(self._trail_lim))
         while keep < limit and kept[keep] == assumption_codes[keep]:
             keep += 1
+        self.trail_reused_levels += keep
         self._backtrack(keep)
         self._kept_assumptions = []
 

@@ -130,6 +130,26 @@ def partition(terms: Sequence[Term]) -> List[Slice]:
             union(names[0], name)
 
     # Group terms by the component of their first variable, in input order.
+    groups_order = _group_terms(terms, term_vars, find)
+    return groups_order
+
+
+def arena_order(slices: Sequence[Slice]) -> List[int]:
+    """Slice indices ordered cheapest-first for batched arena solving.
+
+    When every missed slice shares one encode/solve arena, deciding the
+    small slices first maximizes the chance an interval quick check or an
+    UNSAT verdict short-circuits the query before the arena is ever
+    built.  Stable on size ties, so the order stays deterministic.
+    """
+    return sorted(
+        range(len(slices)),
+        key=lambda index: (len(slices[index].terms), len(slices[index].variables), index),
+    )
+
+
+def _group_terms(terms: Sequence[Term], term_vars: List[List[str]], find) -> List[Slice]:
+    """Materialize the slices of a partition, in first-appearance order."""
     groups: Dict[str, List[Term]] = {}
     order: List[Tuple[str, bool]] = []  # (group key, is_ground) in first-appearance order
     ground_count = 0

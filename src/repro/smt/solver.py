@@ -63,6 +63,10 @@ class SolverStatistics(StatisticsMixin):
     qcache_hits: int = 0
     sat_conflicts: int = 0
     sat_decisions: int = 0
+    #: Root-level bit-blasting passes across this solver's (per-check)
+    #: blasters, and node questions their uid-keyed caches answered.
+    blast_passes: int = 0
+    blast_cache_hits: int = 0
     total_time: float = 0.0
 
 
@@ -215,6 +219,8 @@ class Solver:
 
         blaster = BitBlaster()
         blaster.assert_term(goal)
+        self.statistics.blast_passes += blaster.passes
+        self.statistics.blast_cache_hits += blaster.cache_hits
         sat_solver = make_sat_solver(self.sat_backend, blaster.cnf.num_vars)
         if not _feed_cnf(sat_solver, blaster.cnf):
             return CheckResult.UNSAT, None
@@ -257,6 +263,8 @@ class Solver:
                 blaster.blast_bool(terms[0] if len(terms) == 1 else mk_and(*terms))
                 for terms in groups
             ]
+            self.statistics.blast_passes += blaster.passes
+            self.statistics.blast_cache_hits += blaster.cache_hits
             sat_solver = make_sat_solver(self.sat_backend, blaster.cnf.num_vars)
             state["ok"] = _feed_cnf(sat_solver, blaster.cnf)
             state["blaster"] = blaster

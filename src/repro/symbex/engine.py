@@ -49,6 +49,7 @@ from ..ir.stmts import (
     While,
 )
 from .errors import PathExplosionError, UnsupportedProgramError
+from .merge import MergeCounters, MergeMode, merge_states
 from .segment import ElementSummary, SegmentOutcome, summarize_path
 from .state import (
     HAVOC_PREFIX,
@@ -103,6 +104,17 @@ class SymbexOptions:
     #: engine — how fork workers learn the parent is tracing.  Purely
     #: observational, so it is excluded from summary/verdict store keys.
     trace: bool = False
+    #: Path-merging policy at branch joins (:mod:`repro.symbex.merge`):
+    #: ``off`` never merges (the differential-testing reference),
+    #: ``conservative`` (default) merges alive siblings within the ite
+    #: budget below, ``aggressive`` also merges matching terminated
+    #: states with no budget.  Merging changes summary *content* (ite
+    #: lifting, max-lifted instruction counts) but never verdicts, so it
+    #: is part of the summary store key and not the verdict key.
+    merge: str = MergeMode.CONSERVATIVE
+    #: ``conservative`` rejects a pairwise merge introducing more than
+    #: this many ite terms (solver queries would silently get harder).
+    merge_max_ites: int = 64
 
 
 class SymbolicEngine:
@@ -142,9 +154,15 @@ class SymbolicEngine:
             )
         else:
             self.checker = None
+        if self.options.merge not in MergeMode.ALL:
+            raise ValueError(
+                f"unknown merge mode {self.options.merge!r}; expected one of {MergeMode.ALL}"
+            )
         self.solver_checks = 0
+        self.merge_counters = MergeCounters()
         self._havoc_counter = 0
         self._deadline: Optional[float] = None
+        self._element_name = ""
 
     # -- public API ----------------------------------------------------------------------
 
@@ -167,6 +185,7 @@ class SymbolicEngine:
             self._deadline = clock() + self.options.max_seconds
         self._tables = tables or {}
         self._program = program
+        self._element_name = element_name or program.name
         root = PathState(packet=packet)
         root.constraints.extend(initial_constraints)
         if initial_metadata:
@@ -199,6 +218,9 @@ class SymbolicEngine:
             if self.checker is not None
             else self.solver.statistics.sat_core_calls
         )
+        merged_before = self.merge_counters.paths_merged
+        ites_before = self.merge_counters.ites_introduced
+        rejected_before = self.merge_counters.merge_rejected
         name = element_name or program.name
         packet = SymbolicPacket.fresh(input_length)
         states = self.execute_program(program, packet, tables=tables, element_name=name)
@@ -223,6 +245,10 @@ class SymbolicEngine:
             if query_cache is not None
             else 0
         )
+        summary.merge_mode = self.options.merge
+        summary.paths_merged = self.merge_counters.paths_merged - merged_before
+        summary.ites_introduced = self.merge_counters.ites_introduced - ites_before
+        summary.merge_rejected = self.merge_counters.merge_rejected - rejected_before
         summary.elapsed_seconds = clock() - started
         trace = tracer()
         if trace.enabled:
@@ -236,6 +262,7 @@ class SymbolicEngine:
                 segments=len(summary.segments),
                 paths=summary.paths_explored,
                 sat_core_calls=summary.sat_core_calls,
+                paths_merged=summary.paths_merged,
             )
         return summary
 
@@ -251,18 +278,33 @@ class SymbolicEngine:
                     continue
                 next_states.extend(self._run_stmt(stmt, state))
             current = next_states
-            self._check_budget(current)
+            self._check_budget(current, stmt)
         return current
 
-    def _check_budget(self, states: List[PathState]) -> None:
+    def _explode(self, message: str) -> PathExplosionError:
+        """Build (and trace) a budget-explosion error attributed to the element."""
+        trace = tracer()
+        if trace.enabled:
+            trace.event(
+                "symbex.explosion", "symbex", element=self._element_name, detail=message
+            )
+        return PathExplosionError(message, element=self._element_name)
+
+    def _check_budget(self, states: List[PathState], stmt: Optional[Stmt] = None) -> None:
         if len(states) > self.options.max_paths:
-            raise PathExplosionError(
+            where = f" in element {self._element_name!r}" if self._element_name else ""
+            if stmt is not None:
+                loop_id = getattr(stmt, "loop_id", None)
+                block = type(stmt).__name__ + (f" {loop_id!r}" if loop_id else "")
+                where += f" while executing {block}"
+            raise self._explode(
                 f"path budget of {self.options.max_paths} paths exceeded "
-                f"({len(states)} live paths)"
+                f"({len(states)} live paths){where}"
             )
         if self._deadline is not None and clock() > self._deadline:
-            raise PathExplosionError(
-                f"time budget of {self.options.max_seconds} seconds exceeded"
+            where = f" in element {self._element_name!r}" if self._element_name else ""
+            raise self._explode(
+                f"time budget of {self.options.max_seconds} seconds exceeded{where}"
             )
 
     def _run_stmt(self, stmt: Stmt, state: PathState) -> List[PathState]:
@@ -317,7 +359,7 @@ class SymbolicEngine:
             return [state]
 
         if isinstance(stmt, PushHead):
-            state.packet.bytes[:0] = [smt.BitVecVal(0, 8) for _ in range(stmt.nbytes)]
+            state.packet.push_head([smt.BitVecVal(0, 8) for _ in range(stmt.nbytes)])
             return [state]
 
         if isinstance(stmt, PullHead):
@@ -329,7 +371,7 @@ class SymbolicEngine:
                     ),
                 )
                 return [state]
-            del state.packet.bytes[: stmt.nbytes]
+            state.packet.pull_head(stmt.nbytes)
             return [state]
 
         if isinstance(stmt, TableRead):
@@ -373,6 +415,7 @@ class SymbolicEngine:
             else_state = state
             else_state.add_constraint(fails)
             results.extend(self._run_block(stmt.orelse, [else_state]))
+            results = self._merge_join(results)
         elif take_then:
             if not holds.is_true():
                 state.add_constraint(holds)
@@ -382,6 +425,32 @@ class SymbolicEngine:
                 state.add_constraint(fails)
             results.extend(self._run_block(stmt.orelse, [state]))
         return results
+
+    def _merge_join(self, states: List[PathState]) -> List[PathState]:
+        """Fold mergeable sibling states after both arms of an ``If`` complete."""
+        if self.options.merge == MergeMode.OFF or len(states) < 2:
+            return states
+        started = clock()
+        before = len(states)
+        merged = merge_states(
+            states,
+            mode=self.options.merge,
+            max_ites=self.options.merge_max_ites,
+            counters=self.merge_counters,
+        )
+        if len(merged) < before:
+            trace = tracer()
+            if trace.enabled:
+                trace.record_span(
+                    "symbex.merge",
+                    "symbex",
+                    started,
+                    clock(),
+                    element=self._element_name,
+                    states_in=before,
+                    states_out=len(merged),
+                )
+        return merged
 
     def _run_while(self, stmt: While, state: PathState) -> List[PathState]:
         finished: List[PathState] = []
@@ -431,7 +500,7 @@ class SymbolicEngine:
                             else:
                                 next_active.append(after_body)
             active = next_active
-            self._check_budget(finished + active)
+            self._check_budget(finished + active, stmt)
         return finished
 
     # -- expression evaluation ------------------------------------------------------------------
@@ -588,10 +657,13 @@ class SymbolicEngine:
             byte_value = smt.Extract(shift + 7, shift, value)
             target = smt.simplify(offset + smt.BitVecVal(index, 64))
             for position in range(len(state.packet)):
-                state.packet.bytes[position] = smt.If(
-                    smt.Eq(target, smt.BitVecVal(position, 64)),
-                    byte_value,
-                    state.packet.bytes[position],
+                state.packet.set_byte(
+                    position,
+                    smt.If(
+                        smt.Eq(target, smt.BitVecVal(position, 64)),
+                        byte_value,
+                        state.packet.byte(position),
+                    ),
                 )
 
     @staticmethod

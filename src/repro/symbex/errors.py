@@ -13,7 +13,15 @@ class PathExplosionError(SymbexError):
     This is the failure mode the paper attributes to whole-pipeline
     symbolic execution; the decomposed verifier catches it for the
     monolithic baseline and reports "did not complete within budget".
+
+    ``element`` names the element whose program blew the budget (when
+    known), so EXPLODED job results and ``trace summary`` can attribute
+    the explosion instead of reporting a bare path count.
     """
+
+    def __init__(self, message: str, element: str = "") -> None:
+        super().__init__(message)
+        self.element = element
 
 
 class UnsupportedProgramError(SymbexError):

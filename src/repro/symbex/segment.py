@@ -188,6 +188,15 @@ class ElementSummary:
     input_length: int
     segments: List[SegmentSummary] = field(default_factory=list)
     paths_explored: int = 0
+    #: Merge-pass accounting (:mod:`repro.symbex.merge`).  Structural
+    #: facts about how this summary was produced — like
+    #: ``paths_explored`` they serialize with it (the merge mode is part
+    #: of the summary store key, so a loaded summary's counts describe
+    #: the exploration that built it, not the run that loaded it).
+    merge_mode: str = "off"
+    paths_merged: int = 0
+    ites_introduced: int = 0
+    merge_rejected: int = 0
     solver_checks: int = 0
     #: Whether the engine used the incremental assumption-based solver core.
     incremental: bool = False
@@ -245,6 +254,10 @@ class ElementSummary:
             "input_length": self.input_length,
             "segments": [segment.to_dict(terms) for segment in self.segments],
             "paths_explored": self.paths_explored,
+            "merge_mode": self.merge_mode,
+            "paths_merged": self.paths_merged,
+            "ites_introduced": self.ites_introduced,
+            "merge_rejected": self.merge_rejected,
             "solver_checks": self.solver_checks,
             "incremental": self.incremental,
             "feasibility_memo_hits": self.feasibility_memo_hits,
@@ -259,6 +272,10 @@ class ElementSummary:
             input_length=data["input_length"],
             segments=[SegmentSummary.from_dict(segment, terms) for segment in data["segments"]],
             paths_explored=data["paths_explored"],
+            merge_mode=data.get("merge_mode", "off"),
+            paths_merged=data.get("paths_merged", 0),
+            ites_introduced=data.get("ites_introduced", 0),
+            merge_rejected=data.get("merge_rejected", 0),
             solver_checks=data["solver_checks"],
             incremental=data["incremental"],
             feasibility_memo_hits=data["feasibility_memo_hits"],

@@ -16,16 +16,35 @@ INPUT_META_PREFIX = "in_meta_"
 HAVOC_PREFIX = "havoc"
 
 
+#: Bytes per copy-on-write page.  Small enough that a single store near a
+#: fork copies one page, large enough that page bookkeeping stays cheap.
+PAGE_BYTES = 32
+
+
 class SymbolicPacket:
     """A packet whose content is symbolic: one 8-bit term per byte.
 
     The length is concrete (verification runs are per input length, as
     discussed in DESIGN.md); the *content* is entirely unconstrained,
     which is the paper's "the input is a symbolic bit vector".
+
+    Storage is paged copy-on-write: :meth:`copy` (the ``PathState.fork``
+    workhorse — every branch calls it) shares the page lists of both
+    sides and only :meth:`set_byte` / :meth:`store` pays for a private
+    page, so a fork costs O(pages) pointer copies instead of O(bytes)
+    term copies.  Reads go through :meth:`byte` or the materializing
+    :attr:`bytes` view.
     """
 
     def __init__(self, byte_terms: List[Term]) -> None:
-        self.bytes: List[Term] = list(byte_terms)
+        self._assign(list(byte_terms))
+
+    def _assign(self, terms: List[Term]) -> None:
+        self._length = len(terms)
+        self._pages: List[List[Term]] = [
+            terms[start : start + PAGE_BYTES] for start in range(0, len(terms), PAGE_BYTES)
+        ]
+        self._shared: List[bool] = [False] * len(self._pages)
 
     @classmethod
     def fresh(cls, length: int, prefix: str = INPUT_BYTE_PREFIX) -> "SymbolicPacket":
@@ -38,14 +57,43 @@ class SymbolicPacket:
         return cls([smt.BitVecVal(b, 8) for b in data])
 
     def __len__(self) -> int:
-        return len(self.bytes)
+        return self._length
+
+    @property
+    def bytes(self) -> List[Term]:
+        """The byte terms as a flat list (a fresh read-only snapshot)."""
+        flat: List[Term] = []
+        for page in self._pages:
+            flat.extend(page)
+        return flat
 
     def copy(self) -> "SymbolicPacket":
-        return SymbolicPacket(list(self.bytes))
+        clone = SymbolicPacket.__new__(SymbolicPacket)
+        clone._length = self._length
+        clone._pages = list(self._pages)
+        # Both sides now reference the same page objects, so both must
+        # copy before their next write.
+        clone._shared = [True] * len(self._pages)
+        self._shared = [True] * len(self._pages)
+        return clone
+
+    def byte(self, index: int) -> Term:
+        return self._pages[index // PAGE_BYTES][index % PAGE_BYTES]
+
+    def set_byte(self, index: int, term: Term) -> None:
+        page = index // PAGE_BYTES
+        if self._shared[page]:
+            self._pages[page] = list(self._pages[page])
+            self._shared[page] = False
+        self._pages[page][index % PAGE_BYTES] = term
 
     def load(self, offset: int, nbytes: int) -> Term:
         """Big-endian read of ``nbytes`` at a concrete ``offset``, zero-extended to 64 bits."""
-        chunks = self.bytes[offset : offset + nbytes]
+        chunks = [
+            self.byte(offset + index)
+            for index in range(nbytes)
+            if 0 <= offset + index < self._length
+        ]
         value = smt.Concat(*chunks) if len(chunks) > 1 else chunks[0]
         return smt.ZeroExt(64 - 8 * nbytes, value)
 
@@ -53,14 +101,22 @@ class SymbolicPacket:
         """Big-endian write of the low ``nbytes`` of a 64-bit ``value`` at a concrete offset."""
         for index in range(nbytes):
             shift = 8 * (nbytes - 1 - index)
-            self.bytes[offset + index] = smt.Extract(shift + 7, shift, value)
+            self.set_byte(offset + index, smt.Extract(shift + 7, shift, value))
+
+    def push_head(self, byte_terms: List[Term]) -> None:
+        """Prepend terms (header push); rebuilds the page table."""
+        self._assign(list(byte_terms) + self.bytes)
+
+    def pull_head(self, nbytes: int) -> None:
+        """Strip the first ``nbytes`` bytes (header pull); rebuilds the page table."""
+        self._assign(self.bytes[nbytes:])
 
     def select(self, offset_term: Term, length_guard: int) -> Term:
         """Read one byte at a *symbolic* offset as an if-then-else over positions."""
         result = smt.BitVecVal(0, 8)
-        for index in range(min(len(self.bytes), length_guard)):
+        for index in range(min(self._length, length_guard)):
             result = smt.If(
-                smt.Eq(offset_term, smt.BitVecVal(index, 64)), self.bytes[index], result
+                smt.Eq(offset_term, smt.BitVecVal(index, 64)), self.byte(index), result
             )
         return result
 

@@ -210,6 +210,14 @@ class PipelineVerifier:
                             incremental=summary.incremental,
                             memo_hits=summary.feasibility_memo_hits,
                         )
+                        # Structural facts of the summary (serialized, so
+                        # store-loaded summaries carry them too) — counted
+                        # per use like solver_checks, so serial and
+                        # parallel fleet runs account identically.
+                        statistics.paths_explored += summary.paths_explored
+                        statistics.paths_merged += summary.paths_merged
+                        statistics.ites_introduced += summary.ites_introduced
+                        statistics.merge_rejected += summary.merge_rejected
                         if not summary.work_counters_reported:
                             # Once per process, not per property/pipeline:
                             # the CDCL searches happened once, and fleet

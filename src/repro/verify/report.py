@@ -100,6 +100,13 @@ class VerificationStatistics(StatisticsMixin):
     qcache_hits: int = 0
     #: Slice sub-queries that reached a solving core at all.
     slices_solved: int = 0
+    #: Step-1 path statistics: states that reached a terminal outcome plus
+    #: the merge pass's work (pairs collapsed into ite-lifted states, ite
+    #: terms introduced doing so, and candidate pairs rejected by policy).
+    paths_explored: int = 0
+    paths_merged: int = 0
+    ites_introduced: int = 0
+    merge_rejected: int = 0
     summary_cache_hits: int = 0
     elapsed_seconds: float = 0.0
     per_element_segments: Dict[str, int] = field(default_factory=dict)
@@ -159,6 +166,10 @@ class VerificationResult:
             f"sat core   : {self.statistics.sat_core_calls} calls "
             f"({self.statistics.qcache_hits} query-cache hits, "
             f"{self.statistics.slices_solved} slices solved)",
+            f"paths      : {self.statistics.paths_explored} explored, "
+            f"{self.statistics.paths_merged} merged "
+            f"({self.statistics.ites_introduced} ites, "
+            f"{self.statistics.merge_rejected} rejected)",
             f"time       : {self.statistics.elapsed_seconds:.2f}s",
         ]
         for counterexample in self.counterexamples[:5]:

@@ -251,7 +251,9 @@ class TestDeltaRecertification:
         from repro.workloads import synthetic_pipeline
 
         verdict_store = VerdictStore(tmp_path / "verdicts")
-        starved = SymbexOptions(max_paths=4)
+        # merge=off so the starved budget actually explodes: path merging
+        # would collapse the branchy element back under 4 live paths.
+        starved = SymbexOptions(max_paths=4, merge="off")
         first = certify_fleet(
             [synthetic_pipeline(4, 3, name="boom")], [CrashFreedom()],
             input_lengths=(12,), options=starved, verdict_store=verdict_store,
@@ -342,7 +344,7 @@ class TestCli:
 
     def test_certify_exit_two_on_unknown(self, capsys):
         assert cli_main(["certify", "--catalog", "synthetic:4x3", "--lengths", "12",
-                         "--max-paths", "4"]) == 2
+                         "--max-paths", "4", "--merge", "off"]) == 2
 
     def test_certify_exit_sixtyfour_on_usage_error(self, capsys):
         assert cli_main(["certify", "--catalog", "no-such-spec"]) == 64

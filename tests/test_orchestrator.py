@@ -390,9 +390,12 @@ class TestWorkers:
         from repro.orchestrator.workers import EXPLODED
 
         jobs = [(SyntheticBranchyElement(6, name="wide"), 12)]
-        results = summarize_jobs(jobs, SymbexOptions(max_paths=4), workers=2)
+        results = summarize_jobs(jobs, SymbexOptions(max_paths=4, merge="off"), workers=2)
         status, summary, detail = results[0]
         assert status == EXPLODED and summary is None and "budget" in detail
+        # The explosion names the offending element so EXPLODED jobs and
+        # trace summaries can attribute it.
+        assert "wide" in detail
 
 
 class TestFleet:
@@ -448,7 +451,9 @@ class TestFleet:
     def test_budget_explosion_degrades_identically_in_both_modes(self):
         from repro.workloads import synthetic_pipeline
 
-        options = SymbexOptions(max_paths=4)  # starves Step-1
+        # merge=off: state merging would collapse the branchy element under
+        # the starved budget, defeating the manufactured explosion.
+        options = SymbexOptions(max_paths=4, merge="off")  # starves Step-1
         serial = certify_fleet(
             [synthetic_pipeline(4, 3, name="boom")], [CrashFreedom()],
             input_lengths=(12,), workers=1, options=options,

@@ -198,7 +198,8 @@ class TestScheduledRun:
         assert packets(scheduled) == packets(serial)
 
     def test_budget_explosion_degrades_identically(self, four_cpus, tmp_path):
-        options = SymbexOptions(max_paths=4)  # starves Step-1
+        # merge=off so merging cannot rescue the starved budget.
+        options = SymbexOptions(max_paths=4, merge="off")  # starves Step-1
         serial = certify_fleet(
             [synthetic_pipeline(4, 3, name="boom")], [CrashFreedom()],
             input_lengths=(12,), options=options,

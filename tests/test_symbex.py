@@ -43,13 +43,23 @@ class TestSymbolicPacket:
 
 class TestSegmentEnumeration:
     def test_decttl_segments(self):
-        summary = summarize(DecIPTTL(name="ttl"), 20)
+        summary = summarize(DecIPTTL(name="ttl"), 20, merge="off")
         assert len(summary.crash_segments) == 0
         assert len(summary.drop_segments) == 1
         # Two emit paths: with and without the checksum end-around carry.
         assert len(summary.emit_segments) == 2
         drop = summary.drop_segments[0]
         assert drop.drop_reason == "TTL expired"
+
+    def test_decttl_segments_merge_collapses_carry_fork(self):
+        # Under the default (conservative) merge the two emit paths — with
+        # and without the checksum end-around carry — join into one
+        # ite-lifted segment; the drop path stays distinct.
+        summary = summarize(DecIPTTL(name="ttl"), 20)
+        assert len(summary.crash_segments) == 0
+        assert len(summary.drop_segments) == 1
+        assert len(summary.emit_segments) == 1
+        assert summary.paths_merged >= 1
 
     def test_segments_partition_the_input_space(self):
         """Segment constraints are mutually exclusive and exhaustive (a sound+complete split)."""
@@ -66,7 +76,9 @@ class TestSegmentEnumeration:
     def test_segment_models_replay_on_the_interpreter(self):
         """A model of each segment's constraint drives the interpreter down that segment."""
         element = DecIPTTL(name="ttl")
-        summary = summarize(element, 20)
+        # merge=off: merged segments report instructions as an upper bound
+        # (max over merged arms), so exact replay needs unmerged paths.
+        summary = summarize(element, 20, merge="off")
         solver = smt.Solver()
         interpreter = Interpreter()
         for segment in summary.segments:
@@ -76,6 +88,20 @@ class TestSegmentEnumeration:
             result = interpreter.run(element.program, packet, state=element.state)
             assert result.outcome == segment.outcome
             assert result.instructions == segment.instructions
+
+    def test_merged_segment_models_replay_within_bound(self):
+        """Merged segments still replay the right outcome; instructions upper-bound."""
+        element = DecIPTTL(name="ttl")
+        summary = summarize(element, 20)
+        solver = smt.Solver()
+        interpreter = Interpreter()
+        for segment in summary.segments:
+            assert solver.check(segment.constraint) == smt.CheckResult.SAT
+            model = solver.model()
+            packet = bytes(int(model.get(f"in_b{i}", 0)) & 0xFF for i in range(20))
+            result = interpreter.run(element.program, packet, state=element.state)
+            assert result.outcome == segment.outcome
+            assert result.instructions <= segment.instructions
 
     def test_out_of_bounds_read_produces_crash_segment(self):
         builder = ProgramBuilder("oob")
